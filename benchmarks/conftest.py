@@ -1,0 +1,100 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 4).  The full paper-scale experiment (32 real workflows, 120
+synthetic workflows, 10-minute timeouts) takes hours; by default the harness
+runs a scaled-down version whose *shape* matches the paper (who wins, by
+roughly what factor, how times grow with complexity).  The scale can be
+increased through environment variables:
+
+``REPRO_BENCH_REAL``        number of real workflows        (default 3)
+``REPRO_BENCH_SYNTH``       number of synthetic workflows   (default 3)
+``REPRO_BENCH_TEMPLATES``   number of LTL templates         (default 6, max 12)
+``REPRO_BENCH_TIMEOUT``     per-run timeout in seconds      (default 5)
+``REPRO_BENCH_MAX_STATES``  per-run state budget            (default 20000)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.benchmark.properties import LTL_TEMPLATES
+from repro.benchmark.realworld import real_workflows
+from repro.benchmark.runner import BenchmarkRunner, WorkflowSuite
+from repro.benchmark.synthetic import SyntheticConfig, synthetic_workflows
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+REAL_COUNT = _env_int("REPRO_BENCH_REAL", 3)
+SYNTH_COUNT = _env_int("REPRO_BENCH_SYNTH", 3)
+TEMPLATE_COUNT = max(1, min(_env_int("REPRO_BENCH_TEMPLATES", 6), len(LTL_TEMPLATES)))
+TIMEOUT = _env_float("REPRO_BENCH_TIMEOUT", 5.0)
+MAX_STATES = _env_int("REPRO_BENCH_MAX_STATES", 20_000)
+
+#: Templates used by the scaled-down harness (always includes the False baseline).
+TEMPLATES = LTL_TEMPLATES[:TEMPLATE_COUNT]
+
+
+@pytest.fixture(scope="session")
+def real_suite() -> WorkflowSuite:
+    """The real workflow suite, truncated to the configured size."""
+    return WorkflowSuite("real", real_workflows()[:REAL_COUNT])
+
+
+@pytest.fixture(scope="session")
+def full_real_suite() -> WorkflowSuite:
+    """The full real workflow suite (used only by the statistics table)."""
+    return WorkflowSuite("real", real_workflows())
+
+
+@pytest.fixture(scope="session")
+def synthetic_suite() -> WorkflowSuite:
+    """A small synthetic suite of increasing complexity (Appendix D generator)."""
+    workflows = synthetic_workflows(
+        count=SYNTH_COUNT,
+        base_config=SyntheticConfig(
+            relations=3, tasks=3, variables_per_task=9, services_per_task=8
+        ),
+        seed=100,
+        scale_range=(0.4, 1.0),
+    )
+    return WorkflowSuite("synthetic", workflows)
+
+
+@pytest.fixture(scope="session")
+def runner() -> BenchmarkRunner:
+    return BenchmarkRunner(
+        timeout_seconds=TIMEOUT, max_states=MAX_STATES, templates=TEMPLATES
+    )
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render one experiment table to stdout (captured with ``pytest -s``)."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))

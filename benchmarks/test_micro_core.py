@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the verifier's core building blocks.
+
+These are not part of the paper's evaluation tables; they measure the hot
+operations of the symbolic search (condition evaluation on partial isomorphism
+types, coverage tests, a full small verification) so that performance
+regressions in the core data structures are visible.
+"""
+
+import pytest
+
+from repro import Verifier, VerifierOptions
+from repro.benchmark.realworld import order_fulfillment
+from repro.core.coverage import covers_preceq
+from repro.core.expressions import ConstExpr, ExpressionUniverse, NavExpr
+from repro.core.flatten import evaluate_condition
+from repro.core.isotypes import EQ, NEQ, empty_type
+from repro.core.psi import PSI
+from repro.has.conditions import And, Const, Eq, Neq, RelationAtom, Var
+from repro.has.schema import DatabaseSchema
+from repro.has.types import IdType, VALUE
+from repro.ltl.buchi import ltl_to_buchi
+from repro.ltl.ltlfo import LTLFOProperty
+from repro.ltl.parser import parse_ltl
+
+
+@pytest.fixture(scope="module")
+def navigation_universe():
+    schema = DatabaseSchema.from_dict(
+        {
+            "CUSTOMERS": {"name": None, "address": None, "record": "CREDIT_RECORD"},
+            "CREDIT_RECORD": {"status": None},
+        }
+    )
+    universe = ExpressionUniverse(
+        schema,
+        {
+            "cust": IdType("CUSTOMERS"),
+            "other": IdType("CUSTOMERS"),
+            "rec": IdType("CREDIT_RECORD"),
+            "status": VALUE,
+        },
+    )
+    return schema, universe
+
+
+def test_bench_condition_evaluation(benchmark, navigation_universe):
+    schema, universe = navigation_universe
+    condition = And(
+        RelationAtom("CUSTOMERS", [Var("cust"), Var("status"), Var("status"), Var("rec")]),
+        RelationAtom("CREDIT_RECORD", [Var("rec"), Const("Good")]),
+    )
+    tau = empty_type(universe)
+    benchmark(lambda: evaluate_condition(tau, condition, universe, schema))
+
+
+def test_bench_type_extension_and_entailment(benchmark, navigation_universe):
+    _schema, universe = navigation_universe
+    base = empty_type(universe).extend(
+        [
+            (NavExpr("cust"), NavExpr("other"), EQ),
+            (NavExpr("status"), ConstExpr("Good"), EQ),
+            (NavExpr("rec"), ConstExpr(None), NEQ),
+        ]
+    )
+    small = empty_type(universe).extend([(NavExpr("cust"), NavExpr("other"), EQ)])
+
+    def work():
+        extended = base.extend([(NavExpr("cust", ("record", "status")), ConstExpr("Good"), EQ)])
+        return extended.entails(small)
+
+    benchmark(work)
+
+
+def test_bench_coverage_check(benchmark, navigation_universe):
+    _schema, universe = navigation_universe
+    loose = empty_type(universe)
+    tight = empty_type(universe).extend([(NavExpr("status"), ConstExpr("Good"), EQ)])
+    covered = PSI.make(tight, {("S", tight): 2, ("S", loose): 1})
+    covering = PSI.make(loose, {("S", loose): 4})
+    benchmark(lambda: covers_preceq(covered, covering))
+
+
+def test_bench_buchi_construction(benchmark):
+    formula = parse_ltl("((!phi) U psi) & G (phi -> X ((!phi) U psi))").negated()
+    benchmark(lambda: ltl_to_buchi(formula))
+
+
+def test_bench_order_fulfillment_guard_property(benchmark):
+    system = order_fulfillment()
+    ltl_property = LTLFOProperty(
+        "ProcessOrders",
+        parse_ltl("G (open_ShipItem -> in_stock)"),
+        conditions={"in_stock": Eq(Var("instock"), Const("Yes"))},
+        name="ship-only-in-stock",
+    )
+    verifier = Verifier(system, VerifierOptions(max_states=20_000, timeout_seconds=30))
+
+    def verify():
+        result = verifier.verify(ltl_property)
+        assert result.satisfied
+        return result
+
+    benchmark.pedantic(verify, rounds=3, iterations=1)

@@ -1,0 +1,47 @@
+"""Table 1: statistics of the two sets of workflows.
+
+The paper reports, for the real and synthetic benchmark sets, the number of
+workflows and the average number of database relations, tasks, artifact
+variables and services.  This benchmark rebuilds both suites and prints the
+same row structure.
+"""
+
+from conftest import print_table
+
+from repro.benchmark.runner import WorkflowSuite
+
+
+def test_table1_workflow_statistics(benchmark, full_real_suite, synthetic_suite):
+    def compute():
+        return {
+            "Real": full_real_suite.statistics(),
+            "Synthetic": synthetic_suite.statistics(),
+        }
+
+    stats = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name, row in stats.items():
+        rows.append(
+            (
+                name,
+                int(row["size"]),
+                f"{row['relations']:.3f}",
+                f"{row['tasks']:.3f}",
+                f"{row['variables']:.2f}",
+                f"{row['services']:.2f}",
+            )
+        )
+    print_table(
+        "Table 1: Statistics of the Two Sets of Workflows",
+        ("Dataset", "Size", "#Relations", "#Tasks", "#Variables", "#Services"),
+        rows,
+    )
+
+    real = stats["Real"]
+    # Shape check against the paper's Table 1 band for the real suite
+    # (~3.6 relations, ~3.2 tasks, ~20 variables, ~12 services on average).
+    assert 2.0 <= real["relations"] <= 5.0
+    assert 2.0 <= real["tasks"] <= 5.0
+    assert 8.0 <= real["variables"] <= 30.0
+    assert 8.0 <= real["services"] <= 20.0

@@ -1,0 +1,84 @@
+"""The paper's running example: the order fulfillment workflow (Appendix B).
+
+Run with::
+
+    python examples/order_fulfillment.py
+
+Two variants of the workflow are verified:
+
+* the **correct** variant guards the opening of the ShipItem task with
+  ``status = "Passed" and instock = "Yes"``;
+* the **buggy** variant discussed in Section 2.1 of the paper moves the
+  in-stock test inside ShipItem's internal services, so ShipItem can be opened
+  for an out-of-stock item without Restock being called first.
+
+The example checks the opening-guard property (satisfied by the correct
+variant, violated by the buggy one, with a counterexample trace) and the full
+LTL-FO property (†) with a universally quantified item id.
+"""
+
+from repro import Verifier, VerifierOptions
+from repro.benchmark.realworld import order_fulfillment, order_fulfillment_buggy
+from repro.has.conditions import And, Const, Eq, Var
+from repro.has.types import IdType
+from repro.ltl import GlobalVariable, LTLFOProperty, parse_ltl
+
+
+def guard_property() -> LTLFOProperty:
+    """ShipItem may only be opened when the current order's item is in stock."""
+    return LTLFOProperty(
+        "ProcessOrders",
+        parse_ltl("G (open_ShipItem -> in_stock)"),
+        conditions={"in_stock": Eq(Var("instock"), Const("Yes"))},
+        name="ship-only-in-stock",
+    )
+
+
+def restock_before_ship_property() -> LTLFOProperty:
+    """The paper's property (†), with a universally quantified item id ``i``.
+
+    If TakeOrder returns an out-of-stock item i, then ShipItem is not opened
+    for i until Restock is opened for i.  Note that because the root task can
+    interleave several orders (two orders may concern the same item, one of
+    them in stock), the strong-until formulation is violated even in the
+    correct variant -- the verifier reports the corresponding interleaving.
+    """
+    formula = parse_ltl(
+        "G ((close_TakeOrder & out_of_stock_item) -> "
+        "((!(open_ShipItem & same_item)) U (open_Restock & same_item)))"
+    )
+    return LTLFOProperty(
+        "ProcessOrders",
+        formula,
+        conditions={
+            "out_of_stock_item": And(Eq(Var("item_id"), Var("i")), Eq(Var("instock"), Const("No"))),
+            "same_item": Eq(Var("item_id"), Var("i")),
+        },
+        global_variables=[GlobalVariable("i", IdType("ITEMS"))],
+        name="restock-before-ship (†)",
+    )
+
+
+def main() -> None:
+    options = VerifierOptions(max_states=100_000, timeout_seconds=120)
+    variants = [("correct", order_fulfillment()), ("buggy", order_fulfillment_buggy())]
+
+    print("=== Opening-guard property (the Section 2.1 bug) ===")
+    for label, system in variants:
+        result = Verifier(system, options).verify(guard_property())
+        print(f"  {label:8s}: {result.outcome.value:10s} "
+              f"({result.stats.states_explored} states, {result.stats.total_seconds:.2f}s)")
+        if result.violated and result.counterexample:
+            services = " -> ".join(result.counterexample.services())
+            print(f"           counterexample: {services}")
+    print()
+
+    print("=== Full LTL-FO property (†) with global item id ===")
+    for label, system in variants:
+        result = Verifier(system, options).verify(restock_before_ship_property())
+        print(f"  {label:8s}: {result.outcome.value:10s} "
+              f"({result.stats.states_explored} states, {result.stats.total_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

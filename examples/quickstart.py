@@ -1,0 +1,84 @@
+"""Quickstart: specify a tiny artifact system and verify two properties.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a one-task HAS* specification over a small database schema
+(an order that is repeatedly picked, shipped and reset), then verifies
+
+* a safety property that is violated (an order *can* reach the "shipped"
+  state) -- the verifier produces a symbolic counterexample run, and
+* a response property that holds (every picked order is eventually shipped).
+"""
+
+from repro import Verifier, VerifierOptions
+from repro.has.builder import ArtifactSystemBuilder
+from repro.has.conditions import And, Const, Eq, Neq, NULL, Var
+from repro.has.schema import DatabaseSchema
+from repro.ltl import LTLFOProperty, parse_ltl
+
+
+def build_system():
+    """A single-task workflow: pick an item, ship it, then start over."""
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None, "category": None}})
+    builder = ArtifactSystemBuilder("quickstart", schema)
+    task = builder.task("Orders")
+    task.id_variable("item", "ITEMS")
+    task.variable("status")
+    task.internal_service(
+        "Pick",
+        pre=Eq(Var("status"), NULL),
+        post=And(Neq(Var("item"), NULL), Eq(Var("status"), Const("picked"))),
+    )
+    task.internal_service(
+        "Ship",
+        pre=Eq(Var("status"), Const("picked")),
+        post=Eq(Var("status"), Const("shipped")),
+    )
+    task.internal_service(
+        "Reset",
+        pre=Eq(Var("status"), Const("shipped")),
+        post=And(Eq(Var("status"), NULL), Eq(Var("item"), NULL)),
+    )
+    return builder.build()
+
+
+def main() -> None:
+    system = build_system()
+    verifier = Verifier(system, VerifierOptions(timeout_seconds=30))
+
+    print(f"Specification: {system.name}")
+    print(f"  database schema:\n    " + system.schema.describe().replace("\n", "\n    "))
+    print(f"  tasks: {', '.join(system.task_names)}")
+    print()
+
+    never_shipped = LTLFOProperty(
+        "Orders",
+        parse_ltl("G not_shipped"),
+        conditions={"not_shipped": Neq(Var("status"), Const("shipped"))},
+        name="orders are never shipped",
+    )
+    result = verifier.verify(never_shipped)
+    print(f"[1] {never_shipped.name!r}: {result.outcome.value} "
+          f"({result.stats.states_explored} symbolic states, {result.stats.total_seconds:.3f}s)")
+    if result.counterexample:
+        print(result.counterexample.pretty())
+    print()
+
+    picked_then_shipped = LTLFOProperty(
+        "Orders",
+        parse_ltl("G (picked -> F shipped)"),
+        conditions={
+            "picked": Eq(Var("status"), Const("picked")),
+            "shipped": Eq(Var("status"), Const("shipped")),
+        },
+        name="every picked order is eventually shipped",
+    )
+    result = verifier.verify(picked_then_shipped)
+    print(f"[2] {picked_then_shipped.name!r}: {result.outcome.value} "
+          f"({result.stats.states_explored} symbolic states, {result.stats.total_seconds:.3f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Benchmark substrate: workflow suites, property templates, metrics, runner.
+
+This subpackage provides everything needed to regenerate the paper's
+evaluation (Section 4):
+
+* :mod:`repro.benchmark.realworld` -- the "real" workflow suite (hand-modelled
+  realistic business processes, including the order-fulfillment running
+  example of the paper's Appendix B),
+* :mod:`repro.benchmark.synthetic` -- the random workflow generator of
+  Appendix D,
+* :mod:`repro.benchmark.properties` -- the 12 LTL templates of Table 4 and
+  their instantiation into LTL-FO properties,
+* :mod:`repro.benchmark.cyclomatic` -- the cyclomatic-complexity metric for
+  HAS* specifications (Section 4.2),
+* :mod:`repro.benchmark.runner` -- the experiment runner that aggregates
+  verification times, failures and speedups into the rows of Tables 1-4 and
+  the series of Figure 9.
+"""
+
+from repro.benchmark.realworld import real_workflows, order_fulfillment, order_fulfillment_buggy
+from repro.benchmark.synthetic import SyntheticConfig, generate_synthetic_workflow, synthetic_workflows
+from repro.benchmark.properties import LTL_TEMPLATES, generate_properties, property_from_template
+from repro.benchmark.cyclomatic import cyclomatic_complexity
+from repro.benchmark.runner import BenchmarkRunner, RunRecord, WorkflowSuite
+
+__all__ = [
+    "real_workflows",
+    "order_fulfillment",
+    "order_fulfillment_buggy",
+    "SyntheticConfig",
+    "generate_synthetic_workflow",
+    "synthetic_workflows",
+    "LTL_TEMPLATES",
+    "generate_properties",
+    "property_from_template",
+    "cyclomatic_complexity",
+    "BenchmarkRunner",
+    "RunRecord",
+    "WorkflowSuite",
+]

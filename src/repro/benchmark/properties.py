@@ -1,0 +1,142 @@
+"""LTL-FO property generation (Table 4 of the paper).
+
+The paper evaluates 12 LTL templates: the 11 safety / liveness / fairness
+examples collected from Sistla's reference paper plus the baseline property
+``False``.  For each workflow, an LTL-FO property is generated per template by
+replacing the propositional placeholders with FO conditions drawn from the
+workflow's own pre- and post-conditions (and their subformulas), so the
+generated properties combine real propositional LTL structure with real FO
+conditions, just like the paper's benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.has.artifact_system import ArtifactSystem
+from repro.has.conditions import And, Condition, Eq, FalseCond, Neq, Not, Or, RelationAtom, TrueCond
+from repro.ltl.ltlfo import LTLFOProperty
+from repro.ltl.parser import parse_ltl
+from repro.ltl.syntax import Formula, LFalse
+
+
+@dataclass(frozen=True)
+class LTLTemplate:
+    """One row of Table 4: an LTL skeleton with placeholders ``phi`` / ``psi``."""
+
+    name: str
+    formula_text: str
+    category: str  # "baseline", "safety", "liveness" or "fairness"
+
+    @property
+    def placeholders(self) -> Tuple[str, ...]:
+        formula = parse_ltl(self.formula_text) if self.formula_text else LFalse()
+        return tuple(sorted(p for p in formula.propositions() if p in ("phi", "psi")))
+
+    def formula(self) -> Formula:
+        if not self.formula_text:
+            return LFalse()
+        return parse_ltl(self.formula_text)
+
+
+#: The 12 templates of Table 4 (the empty text encodes the ``False`` baseline).
+LTL_TEMPLATES: Tuple[LTLTemplate, ...] = (
+    LTLTemplate("false", "", "baseline"),
+    LTLTemplate("always", "G phi", "safety"),
+    LTLTemplate("until", "(!phi) U psi", "safety"),
+    LTLTemplate("until-repeated", "((!phi) U psi) & G (phi -> X ((!phi) U psi))", "safety"),
+    LTLTemplate("respond-within-two", "G (phi -> (psi | X psi | X X psi))", "safety"),
+    LTLTemplate("once-then-never", "G (phi | G (!phi))", "safety"),
+    LTLTemplate("response", "G (phi -> F psi)", "liveness"),
+    LTLTemplate("eventually", "F phi", "liveness"),
+    LTLTemplate("fair-response", "(G F phi) -> (G F psi)", "fairness"),
+    LTLTemplate("recurrence", "G F phi", "fairness"),
+    LTLTemplate("stability", "G (phi | G psi)", "fairness"),
+    LTLTemplate("compassion", "(F G phi) -> (G F psi)", "fairness"),
+)
+
+
+def _subformulas(condition: Condition) -> List[Condition]:
+    """The condition itself plus its boolean subformulas (atoms included)."""
+    result: List[Condition] = []
+
+    def walk(node: Condition) -> None:
+        result.append(node)
+        for attr in ("left", "right", "operand"):
+            child = getattr(node, attr, None)
+            if isinstance(child, Condition):
+                walk(child)
+
+    walk(condition)
+    return result
+
+
+def candidate_conditions(system: ArtifactSystem, task: Optional[str] = None) -> List[Condition]:
+    """FO conditions usable as propositions: pre/post conditions and their subformulas."""
+    task_name = task or system.root
+    task_schema = system.task(task_name)
+    allowed = set(task_schema.variable_names)
+    candidates: List[Condition] = []
+    sources: List[Condition] = []
+    for service in system.internal_services(task_name):
+        sources.append(service.pre)
+        sources.append(service.post)
+    for child in system.children_of(task_name):
+        sources.append(system.opening_service(child).pre)
+    sources.append(system.closing_service(task_name).pre)
+    for source in sources:
+        for sub in _subformulas(source):
+            if isinstance(sub, (TrueCond, FalseCond)):
+                continue
+            if not sub.variables():
+                continue
+            if sub.variables() <= allowed:
+                candidates.append(sub)
+    # Deduplicate by their string rendering while preserving order.
+    seen = set()
+    unique: List[Condition] = []
+    for condition in candidates:
+        key = str(condition)
+        if key not in seen:
+            seen.add(key)
+            unique.append(condition)
+    return unique
+
+
+def property_from_template(
+    template: LTLTemplate,
+    system: ArtifactSystem,
+    task: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+) -> LTLFOProperty:
+    """Instantiate one template on a workflow by drawing FO conditions from its spec."""
+    rng = rng or random.Random(0)
+    task_name = task or system.root
+    candidates = candidate_conditions(system, task_name)
+    if not candidates:
+        from repro.has.conditions import NULL, Var
+
+        first_variable = system.task(task_name).variables[0].name
+        candidates = [Neq(Var(first_variable), NULL)]
+    conditions: Dict[str, Condition] = {}
+    for placeholder in template.placeholders:
+        conditions[placeholder] = rng.choice(candidates)
+    return LTLFOProperty(
+        task=task_name,
+        formula=template.formula(),
+        conditions=conditions,
+        name=f"{template.name}@{system.name}",
+    )
+
+
+def generate_properties(
+    system: ArtifactSystem,
+    task: Optional[str] = None,
+    seed: int = 0,
+    templates: Sequence[LTLTemplate] = LTL_TEMPLATES,
+) -> List[LTLFOProperty]:
+    """One LTL-FO property per template (the paper's 12 properties per workflow)."""
+    rng = random.Random(seed)
+    return [property_from_template(template, system, task, rng) for template in templates]

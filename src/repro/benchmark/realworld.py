@@ -1,0 +1,1093 @@
+"""The "real" workflow suite.
+
+The paper's real benchmark rewrites 32 BPMN workflows from bpmn.org into HAS*.
+Those originals are not redistributable here, so this module provides a
+hand-modelled suite of realistic business processes with the same flavour and
+comparable size statistics (Table 1: roughly 3-4 database relations, ~3 tasks,
+~20 artifact variables and ~12 services per workflow).  The first entry is the
+paper's own running example (Appendix B): the order fulfillment process, in
+both a correct variant and the buggy variant discussed in Section 2.1 (the
+in-stock check moved from the opening guard of ShipItem into its internal
+services), which the verifier must catch.
+
+Each factory returns a fresh :class:`~repro.has.artifact_system.ArtifactSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.has.builder import ArtifactSystemBuilder
+from repro.has.conditions import And, Const, Eq, Neq, NULL, Not, Or, RelationAtom, Var
+from repro.has.schema import DatabaseSchema
+
+
+def _order_fulfillment(buggy: bool) -> "ArtifactSystemBuilder":
+    """The order fulfillment workflow of Appendix B (correct or buggy variant)."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "CUSTOMERS": {"name": None, "address": None, "record": "CREDIT_RECORD"},
+            "ITEMS": {"item_name": None, "price": None},
+            "CREDIT_RECORD": {"status": None},
+        }
+    )
+    name = "order-fulfillment" + ("-buggy" if buggy else "")
+    builder = ArtifactSystemBuilder(name, schema)
+
+    # -- Root task: ProcessOrders -------------------------------------------------
+    root = builder.task("ProcessOrders")
+    root.id_variable("cust_id", "CUSTOMERS")
+    root.id_variable("item_id", "ITEMS")
+    root.variable("status")
+    root.variable("instock")
+    root.artifact_relation("ORDERS", ["cust_id", "item_id", "status", "instock"])
+    root.internal_service(
+        "Initialize",
+        pre=And(Eq(Var("cust_id"), NULL), Eq(Var("item_id"), NULL)),
+        post=And(
+            And(Eq(Var("cust_id"), NULL), Eq(Var("item_id"), NULL)),
+            Eq(Var("status"), Const("Init")),
+        ),
+    )
+    root.internal_service(
+        "StoreOrder",
+        pre=And(
+            And(Neq(Var("cust_id"), NULL), Neq(Var("item_id"), NULL)),
+            Neq(Var("status"), Const("Failed")),
+        ),
+        post=And(
+            And(Eq(Var("cust_id"), NULL), Eq(Var("item_id"), NULL)),
+            Eq(Var("status"), Const("Init")),
+        ),
+        insert=("ORDERS", ["cust_id", "item_id", "status", "instock"]),
+    )
+    root.internal_service(
+        "RetrieveOrder",
+        pre=And(Eq(Var("cust_id"), NULL), Eq(Var("item_id"), NULL)),
+        retrieve=("ORDERS", ["cust_id", "item_id", "status", "instock"]),
+    )
+
+    # -- TakeOrder -----------------------------------------------------------------
+    take = builder.task("TakeOrder", parent="ProcessOrders")
+    take.id_variable("cust_id", "CUSTOMERS", output=True)
+    take.id_variable("item_id", "ITEMS", output=True)
+    take.variable("status", output=True)
+    take.variable("instock", output=True)
+    take.id_variable("rec", "CREDIT_RECORD")
+    take.opening(pre=Eq(Var("status"), Const("Init")))
+    take.closing(pre=And(Neq(Var("cust_id"), NULL), Neq(Var("item_id"), NULL)))
+    take.internal_service(
+        "EnterCustomer",
+        post=And(
+            RelationAtom("CUSTOMERS", [Var("cust_id"), Var("n"), Var("a"), Var("rec")]),
+            And(
+                Or(
+                    Or(Eq(Var("cust_id"), NULL), Eq(Var("item_id"), NULL)),
+                    Eq(Var("status"), Const("OrderPlaced")),
+                ),
+                Or(
+                    And(Neq(Var("cust_id"), NULL), Neq(Var("item_id"), NULL)),
+                    Eq(Var("status"), NULL),
+                ),
+            ),
+        ),
+        propagated=["instock", "item_id"],
+    )
+    take.variable("n")
+    take.variable("a")
+    take.internal_service(
+        "EnterItem",
+        post=And(
+            RelationAtom("ITEMS", [Var("item_id"), Var("iname"), Var("iprice")]),
+            And(
+                Or(Eq(Var("instock"), Const("Yes")), Eq(Var("instock"), Const("No"))),
+                Or(
+                    Or(Eq(Var("cust_id"), NULL), Eq(Var("item_id"), NULL)),
+                    Eq(Var("status"), Const("OrderPlaced")),
+                ),
+            ),
+        ),
+        propagated=["cust_id", "status"],
+    )
+    take.variable("iname")
+    take.variable("iprice")
+
+    # -- CheckCredit ----------------------------------------------------------------
+    check = builder.task("CheckCredit", parent="ProcessOrders")
+    check.id_variable("cust_id", "CUSTOMERS", input=True)
+    check.id_variable("record", "CREDIT_RECORD")
+    check.variable("status", output=True)
+    check.variable("n")
+    check.variable("a")
+    check.opening(pre=Eq(Var("status"), Const("OrderPlaced")), input_map={"cust_id": "cust_id"})
+    check.closing(
+        pre=Or(Eq(Var("status"), Const("Passed")), Eq(Var("status"), Const("Failed"))),
+        output_map={"status": "status"},
+    )
+    check.internal_service(
+        "Check",
+        post=And(
+            RelationAtom("CUSTOMERS", [Var("cust_id"), Var("n"), Var("a"), Var("record")]),
+            Or(
+                And(
+                    RelationAtom("CREDIT_RECORD", [Var("record"), Const("Good")]),
+                    Eq(Var("status"), Const("Passed")),
+                ),
+                And(
+                    Not(RelationAtom("CREDIT_RECORD", [Var("record"), Const("Good")])),
+                    Eq(Var("status"), Const("Failed")),
+                ),
+            ),
+        ),
+        propagated=["cust_id"],
+    )
+
+    # -- Restock -----------------------------------------------------------------------
+    restock = builder.task("Restock", parent="ProcessOrders")
+    restock.id_variable("item_id", "ITEMS", input=True)
+    restock.variable("instock", output=True)
+    restock.opening(pre=Eq(Var("instock"), Const("No")), input_map={"item_id": "item_id"})
+    restock.closing(pre=Eq(Var("instock"), Const("Yes")), output_map={"instock": "instock"})
+    restock.internal_service(
+        "Procure",
+        post=Or(Eq(Var("instock"), Const("Yes")), Eq(Var("instock"), Const("No"))),
+        propagated=["item_id"],
+    )
+
+    # -- ShipItem -------------------------------------------------------------------------
+    ship = builder.task("ShipItem", parent="ProcessOrders")
+    ship.id_variable("item_id", "ITEMS", input=True)
+    ship.id_variable("cust_id", "CUSTOMERS")
+    ship.variable("status", output=True)
+    ship.variable("instock")
+    if buggy:
+        # Buggy variant (Section 2.1): the in-stock test is performed inside the
+        # task's internal services rather than in the opening guard, so ShipItem
+        # can be opened for an out-of-stock item without calling Restock first.
+        ship.opening(pre=Eq(Var("status"), Const("Passed")), input_map={"item_id": "item_id"})
+        ship_pre = Eq(Var("instock"), Const("Yes"))
+    else:
+        ship.opening(
+            pre=And(Eq(Var("status"), Const("Passed")), Eq(Var("instock"), Const("Yes"))),
+            input_map={"item_id": "item_id"},
+        )
+        ship_pre = None
+    ship.closing(
+        pre=Or(Eq(Var("status"), Const("Shipped")), Eq(Var("status"), Const("Failed"))),
+        output_map={"status": "status"},
+    )
+    ship.internal_service(
+        "Ship",
+        pre=ship_pre if ship_pre is not None else And(Eq(Var("status"), NULL), Eq(Var("status"), NULL)).nnf(),
+        post=Or(Eq(Var("status"), Const("Shipped")), Eq(Var("status"), Const("Failed"))),
+        propagated=["item_id"],
+    )
+    return builder
+
+
+def order_fulfillment():
+    """The order fulfillment workflow of the paper's Appendix B (correct variant)."""
+    return _order_fulfillment(buggy=False).build()
+
+
+def order_fulfillment_buggy():
+    """The buggy variant of Section 2.1: ShipItem may open for an out-of-stock item."""
+    return _order_fulfillment(buggy=True).build()
+
+
+def loan_origination():
+    """A bank loan origination process: applications are queued, assessed and decided."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "APPLICANTS": {"name": None, "segment": None, "score_ref": "SCORES"},
+            "SCORES": {"band": None},
+            "PRODUCTS": {"product_name": None, "rate": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("loan-origination", schema)
+
+    root = builder.task("LoanDesk")
+    root.id_variable("applicant", "APPLICANTS")
+    root.id_variable("product", "PRODUCTS")
+    root.variable("phase")
+    root.variable("decision")
+    root.artifact_relation("PIPELINE", ["applicant", "product", "phase", "decision"])
+    root.internal_service(
+        "NewApplication",
+        pre=Eq(Var("applicant"), NULL),
+        post=And(
+            And(Neq(Var("applicant"), NULL), Neq(Var("product"), NULL)),
+            And(Eq(Var("phase"), Const("Received")), Eq(Var("decision"), NULL)),
+        ),
+    )
+    root.internal_service(
+        "Park",
+        pre=And(Neq(Var("applicant"), NULL), Neq(Var("phase"), Const("Closed"))),
+        post=And(
+            And(Eq(Var("applicant"), NULL), Eq(Var("product"), NULL)),
+            And(Eq(Var("phase"), NULL), Eq(Var("decision"), NULL)),
+        ),
+        insert=("PIPELINE", ["applicant", "product", "phase", "decision"]),
+    )
+    root.internal_service(
+        "Resume",
+        pre=Eq(Var("applicant"), NULL),
+        retrieve=("PIPELINE", ["applicant", "product", "phase", "decision"]),
+    )
+    root.internal_service(
+        "Archive",
+        pre=Or(Eq(Var("decision"), Const("Approved")), Eq(Var("decision"), Const("Rejected"))),
+        post=And(
+            And(Eq(Var("applicant"), NULL), Eq(Var("product"), NULL)),
+            And(Eq(Var("phase"), Const("Closed")), Eq(Var("decision"), NULL)),
+        ),
+    )
+
+    assess = builder.task("Assess", parent="LoanDesk")
+    assess.id_variable("applicant", "APPLICANTS", input=True)
+    assess.id_variable("score", "SCORES")
+    assess.variable("phase", output=True)
+    assess.variable("an")
+    assess.variable("aseg")
+    assess.opening(pre=Eq(Var("phase"), Const("Received")), input_map={"applicant": "applicant"})
+    assess.closing(
+        pre=Or(Eq(Var("phase"), Const("Assessed")), Eq(Var("phase"), Const("NeedsInfo"))),
+        output_map={"phase": "phase"},
+    )
+    assess.internal_service(
+        "Score",
+        post=And(
+            RelationAtom("APPLICANTS", [Var("applicant"), Var("an"), Var("aseg"), Var("score")]),
+            Or(
+                And(
+                    RelationAtom("SCORES", [Var("score"), Const("Prime")]),
+                    Eq(Var("phase"), Const("Assessed")),
+                ),
+                Eq(Var("phase"), Const("NeedsInfo")),
+            ),
+        ),
+        propagated=["applicant"],
+    )
+
+    decide = builder.task("Decide", parent="LoanDesk")
+    decide.id_variable("applicant", "APPLICANTS", input=True)
+    decide.variable("decision", output=True)
+    decide.variable("note")
+    decide.opening(pre=Eq(Var("phase"), Const("Assessed")), input_map={"applicant": "applicant"})
+    decide.closing(
+        pre=Or(Eq(Var("decision"), Const("Approved")), Eq(Var("decision"), Const("Rejected"))),
+        output_map={"decision": "decision"},
+    )
+    decide.internal_service(
+        "Underwrite",
+        post=Or(
+            Eq(Var("decision"), Const("Approved")),
+            Or(Eq(Var("decision"), Const("Rejected")), Eq(Var("decision"), Const("Escalate"))),
+        ),
+        propagated=["applicant"],
+    )
+    decide.internal_service(
+        "Escalation",
+        pre=Eq(Var("decision"), Const("Escalate")),
+        post=Or(Eq(Var("decision"), Const("Approved")), Eq(Var("decision"), Const("Rejected"))),
+        propagated=["applicant"],
+    )
+    return builder.build()
+
+
+def insurance_claim():
+    """An insurance claim handling process with triage, appraisal and settlement."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "POLICIES": {"holder": None, "tier_ref": "TIERS"},
+            "TIERS": {"tier_name": None},
+            "ADJUSTERS": {"adjuster_name": None, "region": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("insurance-claim", schema)
+
+    root = builder.task("ClaimDesk")
+    root.id_variable("policy", "POLICIES")
+    root.id_variable("adjuster", "ADJUSTERS")
+    root.variable("state")
+    root.variable("severity")
+    root.artifact_relation("CLAIMS", ["policy", "state", "severity"])
+    root.internal_service(
+        "Register",
+        pre=Eq(Var("policy"), NULL),
+        post=And(
+            Neq(Var("policy"), NULL),
+            And(Eq(Var("state"), Const("New")), Neq(Var("severity"), NULL)),
+        ),
+    )
+    root.internal_service(
+        "Queue",
+        pre=And(Neq(Var("policy"), NULL), Neq(Var("state"), Const("Paid"))),
+        post=And(Eq(Var("policy"), NULL), Eq(Var("adjuster"), NULL)),
+        insert=("CLAIMS", ["policy", "state", "severity"]),
+    )
+    root.internal_service(
+        "Dequeue",
+        pre=Eq(Var("policy"), NULL),
+        retrieve=("CLAIMS", ["policy", "state", "severity"]),
+    )
+    root.internal_service(
+        "AssignAdjuster",
+        pre=And(Neq(Var("policy"), NULL), Eq(Var("state"), Const("Triaged"))),
+        post=And(Neq(Var("adjuster"), NULL), Eq(Var("state"), Const("Assigned"))),
+        propagated=["policy", "severity", "state"],
+    )
+
+    triage = builder.task("Triage", parent="ClaimDesk")
+    triage.id_variable("policy", "POLICIES", input=True)
+    triage.variable("state", output=True)
+    triage.variable("severity", output=True)
+    triage.opening(pre=Eq(Var("state"), Const("New")), input_map={"policy": "policy"})
+    triage.closing(pre=Eq(Var("state"), Const("Triaged")),
+                   output_map={"state": "state", "severity": "severity"})
+    triage.internal_service(
+        "Classify",
+        post=And(
+            Eq(Var("state"), Const("Triaged")),
+            Or(Eq(Var("severity"), Const("Minor")), Eq(Var("severity"), Const("Major"))),
+        ),
+        propagated=["policy"],
+    )
+
+    appraise = builder.task("Appraise", parent="ClaimDesk")
+    appraise.id_variable("policy", "POLICIES", input=True)
+    appraise.variable("state", output=True)
+    appraise.variable("holder")
+    appraise.id_variable("tier", "TIERS")
+    appraise.opening(pre=Eq(Var("state"), Const("Assigned")), input_map={"policy": "policy"})
+    appraise.closing(
+        pre=Or(Eq(Var("state"), Const("Approved")), Eq(Var("state"), Const("Denied"))),
+        output_map={"state": "state"},
+    )
+    appraise.internal_service(
+        "Appraisal",
+        post=And(
+            RelationAtom("POLICIES", [Var("policy"), Var("holder"), Var("tier")]),
+            Or(
+                And(
+                    RelationAtom("TIERS", [Var("tier"), Const("Gold")]),
+                    Eq(Var("state"), Const("Approved")),
+                ),
+                Or(Eq(Var("state"), Const("Approved")), Eq(Var("state"), Const("Denied"))),
+            ),
+        ),
+        propagated=["policy"],
+    )
+
+    settle = builder.task("Settle", parent="ClaimDesk")
+    settle.id_variable("policy", "POLICIES", input=True)
+    settle.variable("state", output=True)
+    settle.opening(pre=Eq(Var("state"), Const("Approved")), input_map={"policy": "policy"})
+    settle.closing(pre=Eq(Var("state"), Const("Paid")), output_map={"state": "state"})
+    settle.internal_service(
+        "Payout",
+        post=Eq(Var("state"), Const("Paid")),
+        propagated=["policy"],
+    )
+    return builder.build()
+
+
+def travel_booking():
+    """A travel booking process: itinerary building, reservation and payment."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "TRAVELLERS": {"traveller_name": None, "loyalty": "LOYALTY"},
+            "LOYALTY": {"level": None},
+            "FLIGHTS": {"origin": None, "destination": None},
+            "HOTELS": {"city": None, "stars": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("travel-booking", schema)
+
+    root = builder.task("TripDesk")
+    root.id_variable("traveller", "TRAVELLERS")
+    root.id_variable("flight", "FLIGHTS")
+    root.id_variable("hotel", "HOTELS")
+    root.variable("stage")
+    root.variable("paid")
+    root.artifact_relation("TRIPS", ["traveller", "flight", "hotel", "stage"])
+    root.internal_service(
+        "StartTrip",
+        pre=Eq(Var("traveller"), NULL),
+        post=And(Neq(Var("traveller"), NULL), Eq(Var("stage"), Const("Draft"))),
+    )
+    root.internal_service(
+        "Suspend",
+        pre=And(Neq(Var("traveller"), NULL), Neq(Var("stage"), Const("Confirmed"))),
+        post=And(Eq(Var("traveller"), NULL), And(Eq(Var("flight"), NULL), Eq(Var("hotel"), NULL))),
+        insert=("TRIPS", ["traveller", "flight", "hotel", "stage"]),
+    )
+    root.internal_service(
+        "Restore",
+        pre=Eq(Var("traveller"), NULL),
+        retrieve=("TRIPS", ["traveller", "flight", "hotel", "stage"]),
+    )
+
+    reserve = builder.task("Reserve", parent="TripDesk")
+    reserve.id_variable("traveller", "TRAVELLERS", input=True)
+    reserve.id_variable("flight", "FLIGHTS", output=True)
+    reserve.id_variable("hotel", "HOTELS", output=True)
+    reserve.variable("stage", output=True)
+    reserve.variable("fo")
+    reserve.variable("fd")
+    reserve.opening(pre=Eq(Var("stage"), Const("Draft")), input_map={"traveller": "traveller"})
+    reserve.closing(pre=Eq(Var("stage"), Const("Reserved")),
+                    output_map={"flight": "flight", "hotel": "hotel", "stage": "stage"})
+    reserve.internal_service(
+        "PickFlight",
+        post=RelationAtom("FLIGHTS", [Var("flight"), Var("fo"), Var("fd")]),
+        propagated=["traveller", "hotel", "stage"],
+    )
+    reserve.internal_service(
+        "PickHotel",
+        pre=Neq(Var("flight"), NULL),
+        post=And(Neq(Var("hotel"), NULL), Eq(Var("stage"), Const("Reserved"))),
+        propagated=["traveller", "flight"],
+    )
+
+    pay = builder.task("Pay", parent="TripDesk")
+    pay.id_variable("traveller", "TRAVELLERS", input=True)
+    pay.variable("paid", output=True)
+    pay.variable("tname")
+    pay.id_variable("level", "LOYALTY")
+    pay.opening(pre=Eq(Var("stage"), Const("Reserved")), input_map={"traveller": "traveller"})
+    pay.closing(pre=Or(Eq(Var("paid"), Const("Yes")), Eq(Var("paid"), Const("Declined"))),
+                output_map={"paid": "paid"})
+    pay.internal_service(
+        "Charge",
+        post=And(
+            RelationAtom("TRAVELLERS", [Var("traveller"), Var("tname"), Var("level")]),
+            Or(Eq(Var("paid"), Const("Yes")), Eq(Var("paid"), Const("Declined"))),
+        ),
+        propagated=["traveller"],
+    )
+
+    confirm = builder.task("Confirm", parent="TripDesk")
+    confirm.id_variable("traveller", "TRAVELLERS", input=True)
+    confirm.variable("stage", output=True)
+    confirm.opening(pre=Eq(Var("paid"), Const("Yes")), input_map={"traveller": "traveller"})
+    confirm.closing(pre=Eq(Var("stage"), Const("Confirmed")), output_map={"stage": "stage"})
+    confirm.internal_service(
+        "SendConfirmation",
+        post=Eq(Var("stage"), Const("Confirmed")),
+        propagated=["traveller"],
+    )
+    return builder.build()
+
+
+def hiring_pipeline():
+    """A hiring pipeline: screening, interviewing and offer management."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "CANDIDATES": {"cand_name": None, "source": None},
+            "POSITIONS": {"title": None, "level": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("hiring-pipeline", schema)
+
+    root = builder.task("Recruiting")
+    root.id_variable("candidate", "CANDIDATES")
+    root.id_variable("position", "POSITIONS")
+    root.variable("stage")
+    root.variable("outcome")
+    root.artifact_relation("FUNNEL", ["candidate", "position", "stage"])
+    root.internal_service(
+        "Source",
+        pre=Eq(Var("candidate"), NULL),
+        post=And(
+            And(Neq(Var("candidate"), NULL), Neq(Var("position"), NULL)),
+            Eq(Var("stage"), Const("Applied")),
+        ),
+    )
+    root.internal_service(
+        "Shelve",
+        pre=And(Neq(Var("candidate"), NULL), Neq(Var("stage"), Const("Hired"))),
+        post=And(Eq(Var("candidate"), NULL), Eq(Var("position"), NULL)),
+        insert=("FUNNEL", ["candidate", "position", "stage"]),
+    )
+    root.internal_service(
+        "PickUp",
+        pre=Eq(Var("candidate"), NULL),
+        retrieve=("FUNNEL", ["candidate", "position", "stage"]),
+    )
+    root.internal_service(
+        "Hire",
+        pre=Eq(Var("outcome"), Const("Offer")),
+        post=Eq(Var("stage"), Const("Hired")),
+        propagated=["candidate", "position", "outcome"],
+    )
+
+    screen = builder.task("Screen", parent="Recruiting")
+    screen.id_variable("candidate", "CANDIDATES", input=True)
+    screen.variable("stage", output=True)
+    screen.variable("sname")
+    screen.variable("ssource")
+    screen.opening(pre=Eq(Var("stage"), Const("Applied")), input_map={"candidate": "candidate"})
+    screen.closing(
+        pre=Or(Eq(Var("stage"), Const("Screened")), Eq(Var("stage"), Const("RejectedEarly"))),
+        output_map={"stage": "stage"},
+    )
+    screen.internal_service(
+        "ResumeReview",
+        post=And(
+            RelationAtom("CANDIDATES", [Var("candidate"), Var("sname"), Var("ssource")]),
+            Or(Eq(Var("stage"), Const("Screened")), Eq(Var("stage"), Const("RejectedEarly"))),
+        ),
+        propagated=["candidate"],
+    )
+
+    interview = builder.task("Interview", parent="Recruiting")
+    interview.id_variable("candidate", "CANDIDATES", input=True)
+    interview.id_variable("position", "POSITIONS", input=True)
+    interview.variable("outcome", output=True)
+    interview.variable("round")
+    interview.opening(
+        pre=Eq(Var("stage"), Const("Screened")),
+        input_map={"candidate": "candidate", "position": "position"},
+    )
+    interview.closing(
+        pre=Or(Eq(Var("outcome"), Const("Offer")), Eq(Var("outcome"), Const("NoOffer"))),
+        output_map={"outcome": "outcome"},
+    )
+    interview.internal_service(
+        "PhoneScreen",
+        pre=Eq(Var("round"), NULL),
+        post=Or(Eq(Var("round"), Const("Onsite")), Eq(Var("outcome"), Const("NoOffer"))),
+        propagated=["candidate", "position"],
+    )
+    interview.internal_service(
+        "Onsite",
+        pre=Eq(Var("round"), Const("Onsite")),
+        post=Or(Eq(Var("outcome"), Const("Offer")), Eq(Var("outcome"), Const("NoOffer"))),
+        propagated=["candidate", "position", "round"],
+    )
+    return builder.build()
+
+
+def procurement():
+    """A procure-to-pay process with requisitions, approvals and goods receipt."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "SUPPLIERS": {"supplier_name": None, "rating_ref": "RATINGS"},
+            "RATINGS": {"grade": None},
+            "MATERIALS": {"material_name": None, "unit": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("procurement", schema)
+
+    root = builder.task("Purchasing")
+    root.id_variable("supplier", "SUPPLIERS")
+    root.id_variable("material", "MATERIALS")
+    root.variable("status")
+    root.variable("approved")
+    root.artifact_relation("REQUISITIONS", ["supplier", "material", "status"])
+    root.internal_service(
+        "Raise",
+        pre=Eq(Var("material"), NULL),
+        post=And(
+            And(Neq(Var("material"), NULL), Neq(Var("supplier"), NULL)),
+            Eq(Var("status"), Const("Draft")),
+        ),
+    )
+    root.internal_service(
+        "Defer",
+        pre=And(Neq(Var("material"), NULL), Neq(Var("status"), Const("Received"))),
+        post=And(Eq(Var("material"), NULL), Eq(Var("supplier"), NULL)),
+        insert=("REQUISITIONS", ["supplier", "material", "status"]),
+    )
+    root.internal_service(
+        "Reopen",
+        pre=Eq(Var("material"), NULL),
+        retrieve=("REQUISITIONS", ["supplier", "material", "status"]),
+    )
+
+    approve = builder.task("Approve", parent="Purchasing")
+    approve.id_variable("supplier", "SUPPLIERS", input=True)
+    approve.variable("approved", output=True)
+    approve.variable("sn")
+    approve.id_variable("rating", "RATINGS")
+    approve.opening(pre=Eq(Var("status"), Const("Draft")), input_map={"supplier": "supplier"})
+    approve.closing(
+        pre=Or(Eq(Var("approved"), Const("Yes")), Eq(Var("approved"), Const("No"))),
+        output_map={"approved": "approved"},
+    )
+    approve.internal_service(
+        "ManagerApproval",
+        post=And(
+            RelationAtom("SUPPLIERS", [Var("supplier"), Var("sn"), Var("rating")]),
+            Or(
+                And(
+                    RelationAtom("RATINGS", [Var("rating"), Const("A")]),
+                    Eq(Var("approved"), Const("Yes")),
+                ),
+                Eq(Var("approved"), Const("No")),
+            ),
+        ),
+        propagated=["supplier"],
+    )
+
+    order = builder.task("PlaceOrder", parent="Purchasing")
+    order.id_variable("supplier", "SUPPLIERS", input=True)
+    order.id_variable("material", "MATERIALS", input=True)
+    order.variable("status", output=True)
+    order.opening(
+        pre=Eq(Var("approved"), Const("Yes")),
+        input_map={"supplier": "supplier", "material": "material"},
+    )
+    order.closing(pre=Eq(Var("status"), Const("Ordered")), output_map={"status": "status"})
+    order.internal_service(
+        "SendPO",
+        post=Eq(Var("status"), Const("Ordered")),
+        propagated=["supplier", "material"],
+    )
+
+    receive = builder.task("ReceiveGoods", parent="Purchasing")
+    receive.id_variable("material", "MATERIALS", input=True)
+    receive.variable("status", output=True)
+    receive.opening(pre=Eq(Var("status"), Const("Ordered")), input_map={"material": "material"})
+    receive.closing(
+        pre=Or(Eq(Var("status"), Const("Received")), Eq(Var("status"), Const("Damaged"))),
+        output_map={"status": "status"},
+    )
+    receive.internal_service(
+        "Inspect",
+        post=Or(Eq(Var("status"), Const("Received")), Eq(Var("status"), Const("Damaged"))),
+        propagated=["material"],
+    )
+    return builder.build()
+
+
+def support_tickets():
+    """A customer support ticket workflow with escalation and resolution."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "USERS": {"user_name": None, "plan_ref": "PLANS"},
+            "PLANS": {"plan_name": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("support-tickets", schema)
+
+    root = builder.task("HelpDesk")
+    root.id_variable("user", "USERS")
+    root.variable("state")
+    root.variable("priority")
+    root.artifact_relation("BACKLOG", ["user", "state", "priority"])
+    root.internal_service(
+        "Open",
+        pre=Eq(Var("user"), NULL),
+        post=And(Neq(Var("user"), NULL),
+                 And(Eq(Var("state"), Const("Open")), Neq(Var("priority"), NULL))),
+    )
+    root.internal_service(
+        "Backlog",
+        pre=And(Neq(Var("user"), NULL), Neq(Var("state"), Const("Closed"))),
+        post=Eq(Var("user"), NULL),
+        insert=("BACKLOG", ["user", "state", "priority"]),
+    )
+    root.internal_service(
+        "Triage",
+        pre=Eq(Var("user"), NULL),
+        retrieve=("BACKLOG", ["user", "state", "priority"]),
+    )
+    root.internal_service(
+        "Close",
+        pre=Eq(Var("state"), Const("Resolved")),
+        post=Eq(Var("state"), Const("Closed")),
+        propagated=["user", "priority"],
+    )
+
+    resolve = builder.task("Resolve", parent="HelpDesk")
+    resolve.id_variable("user", "USERS", input=True)
+    resolve.variable("state", output=True)
+    resolve.variable("un")
+    resolve.id_variable("plan", "PLANS")
+    resolve.opening(pre=Eq(Var("state"), Const("Open")), input_map={"user": "user"})
+    resolve.closing(
+        pre=Or(Eq(Var("state"), Const("Resolved")), Eq(Var("state"), Const("Escalated"))),
+        output_map={"state": "state"},
+    )
+    resolve.internal_service(
+        "FirstLine",
+        post=And(
+            RelationAtom("USERS", [Var("user"), Var("un"), Var("plan")]),
+            Or(Eq(Var("state"), Const("Resolved")), Eq(Var("state"), Const("Escalated"))),
+        ),
+        propagated=["user"],
+    )
+
+    escalate = builder.task("Escalate", parent="HelpDesk")
+    escalate.id_variable("user", "USERS", input=True)
+    escalate.variable("state", output=True)
+    escalate.opening(pre=Eq(Var("state"), Const("Escalated")), input_map={"user": "user"})
+    escalate.closing(pre=Eq(Var("state"), Const("Resolved")), output_map={"state": "state"})
+    escalate.internal_service(
+        "SecondLine",
+        post=Or(Eq(Var("state"), Const("Resolved")), Eq(Var("state"), Const("Escalated"))),
+        propagated=["user"],
+    )
+    return builder.build()
+
+
+def invoicing():
+    """An accounts-receivable invoicing workflow with dunning."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "ACCOUNTS": {"account_name": None, "terms": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("invoicing", schema)
+
+    root = builder.task("Billing")
+    root.id_variable("account", "ACCOUNTS")
+    root.variable("state")
+    root.variable("reminders")
+    root.artifact_relation("INVOICES", ["account", "state"])
+    root.internal_service(
+        "Issue",
+        pre=Eq(Var("account"), NULL),
+        post=And(Neq(Var("account"), NULL), Eq(Var("state"), Const("Issued"))),
+    )
+    root.internal_service(
+        "File",
+        pre=And(Neq(Var("account"), NULL), Neq(Var("state"), Const("Paid"))),
+        post=Eq(Var("account"), NULL),
+        insert=("INVOICES", ["account", "state"]),
+    )
+    root.internal_service(
+        "Pull",
+        pre=Eq(Var("account"), NULL),
+        retrieve=("INVOICES", ["account", "state"]),
+    )
+    root.internal_service(
+        "RecordPayment",
+        pre=Eq(Var("state"), Const("Issued")),
+        post=Or(Eq(Var("state"), Const("Paid")), Eq(Var("state"), Const("Overdue"))),
+        propagated=["account", "reminders"],
+    )
+    root.internal_service(
+        "Remind",
+        pre=Eq(Var("state"), Const("Overdue")),
+        post=And(Eq(Var("state"), Const("Issued")), Eq(Var("reminders"), Const("Sent"))),
+        propagated=["account"],
+    )
+    root.internal_service(
+        "WriteOff",
+        pre=Eq(Var("state"), Const("Overdue")),
+        post=Eq(Var("state"), Const("Cancelled")),
+        propagated=["account", "reminders"],
+    )
+    return builder.build()
+
+
+def shipment_tracking():
+    """A logistics shipment tracking workflow with carrier hand-off."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "PARCELS": {"weight": None, "service_ref": "SERVICES"},
+            "SERVICES": {"service_name": None},
+            "CARRIERS": {"carrier_name": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("shipment-tracking", schema)
+
+    root = builder.task("Dispatch")
+    root.id_variable("parcel", "PARCELS")
+    root.id_variable("carrier", "CARRIERS")
+    root.variable("leg")
+    root.artifact_relation("MANIFEST", ["parcel", "carrier", "leg"])
+    root.internal_service(
+        "Intake",
+        pre=Eq(Var("parcel"), NULL),
+        post=And(Neq(Var("parcel"), NULL), Eq(Var("leg"), Const("AtDepot"))),
+    )
+    root.internal_service(
+        "Stage",
+        pre=And(Neq(Var("parcel"), NULL), Neq(Var("leg"), Const("Delivered"))),
+        post=And(Eq(Var("parcel"), NULL), Eq(Var("carrier"), NULL)),
+        insert=("MANIFEST", ["parcel", "carrier", "leg"]),
+    )
+    root.internal_service(
+        "LoadNext",
+        pre=Eq(Var("parcel"), NULL),
+        retrieve=("MANIFEST", ["parcel", "carrier", "leg"]),
+    )
+
+    handoff = builder.task("CarrierHandoff", parent="Dispatch")
+    handoff.id_variable("parcel", "PARCELS", input=True)
+    handoff.id_variable("carrier", "CARRIERS", output=True)
+    handoff.variable("leg", output=True)
+    handoff.opening(pre=Eq(Var("leg"), Const("AtDepot")), input_map={"parcel": "parcel"})
+    handoff.closing(pre=Eq(Var("leg"), Const("InTransit")),
+                    output_map={"carrier": "carrier", "leg": "leg"})
+    handoff.internal_service(
+        "Assign",
+        post=And(Neq(Var("carrier"), NULL), Eq(Var("leg"), Const("InTransit"))),
+        propagated=["parcel"],
+    )
+
+    deliver = builder.task("LastMile", parent="Dispatch")
+    deliver.id_variable("parcel", "PARCELS", input=True)
+    deliver.variable("leg", output=True)
+    deliver.opening(pre=Eq(Var("leg"), Const("InTransit")), input_map={"parcel": "parcel"})
+    deliver.closing(
+        pre=Or(Eq(Var("leg"), Const("Delivered")), Eq(Var("leg"), Const("ReturnedToDepot"))),
+        output_map={"leg": "leg"},
+    )
+    deliver.internal_service(
+        "AttemptDelivery",
+        post=Or(Eq(Var("leg"), Const("Delivered")), Eq(Var("leg"), Const("ReturnedToDepot"))),
+        propagated=["parcel"],
+    )
+    return builder.build()
+
+
+def patient_intake():
+    """A clinic patient intake workflow with triage and treatment planning."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "PATIENTS": {"patient_name": None, "insurer_ref": "INSURERS"},
+            "INSURERS": {"network": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("patient-intake", schema)
+
+    root = builder.task("FrontDesk")
+    root.id_variable("patient", "PATIENTS")
+    root.variable("stage")
+    root.variable("covered")
+    root.artifact_relation("WAITING", ["patient", "stage"])
+    root.internal_service(
+        "CheckIn",
+        pre=Eq(Var("patient"), NULL),
+        post=And(Neq(Var("patient"), NULL), Eq(Var("stage"), Const("CheckedIn"))),
+    )
+    root.internal_service(
+        "Wait",
+        pre=And(Neq(Var("patient"), NULL), Neq(Var("stage"), Const("Discharged"))),
+        post=Eq(Var("patient"), NULL),
+        insert=("WAITING", ["patient", "stage"]),
+    )
+    root.internal_service(
+        "CallNext",
+        pre=Eq(Var("patient"), NULL),
+        retrieve=("WAITING", ["patient", "stage"]),
+    )
+    root.internal_service(
+        "Discharge",
+        pre=Eq(Var("stage"), Const("Treated")),
+        post=Eq(Var("stage"), Const("Discharged")),
+        propagated=["patient", "covered"],
+    )
+
+    verify = builder.task("VerifyCoverage", parent="FrontDesk")
+    verify.id_variable("patient", "PATIENTS", input=True)
+    verify.variable("covered", output=True)
+    verify.variable("pn")
+    verify.id_variable("insurer", "INSURERS")
+    verify.opening(pre=Eq(Var("stage"), Const("CheckedIn")), input_map={"patient": "patient"})
+    verify.closing(
+        pre=Or(Eq(Var("covered"), Const("Yes")), Eq(Var("covered"), Const("No"))),
+        output_map={"covered": "covered"},
+    )
+    verify.internal_service(
+        "QueryInsurer",
+        post=And(
+            RelationAtom("PATIENTS", [Var("patient"), Var("pn"), Var("insurer")]),
+            Or(
+                And(
+                    RelationAtom("INSURERS", [Var("insurer"), Const("InNetwork")]),
+                    Eq(Var("covered"), Const("Yes")),
+                ),
+                Eq(Var("covered"), Const("No")),
+            ),
+        ),
+        propagated=["patient"],
+    )
+
+    treat = builder.task("Treat", parent="FrontDesk")
+    treat.id_variable("patient", "PATIENTS", input=True)
+    treat.variable("stage", output=True)
+    treat.opening(pre=Eq(Var("covered"), Const("Yes")), input_map={"patient": "patient"})
+    treat.closing(pre=Eq(Var("stage"), Const("Treated")), output_map={"stage": "stage"})
+    treat.internal_service(
+        "Consultation",
+        post=Or(Eq(Var("stage"), Const("Treated")), Eq(Var("stage"), Const("NeedsFollowUp"))),
+        propagated=["patient"],
+    )
+    treat.internal_service(
+        "FollowUp",
+        pre=Eq(Var("stage"), Const("NeedsFollowUp")),
+        post=Eq(Var("stage"), Const("Treated")),
+        propagated=["patient"],
+    )
+    return builder.build()
+
+
+def expense_reimbursement():
+    """An employee expense reimbursement workflow with audit sampling."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "EMPLOYEES": {"emp_name": None, "dept_ref": "DEPARTMENTS"},
+            "DEPARTMENTS": {"dept_name": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("expense-reimbursement", schema)
+
+    root = builder.task("ExpenseDesk")
+    root.id_variable("employee", "EMPLOYEES")
+    root.variable("state")
+    root.variable("flagged")
+    root.artifact_relation("REPORTS", ["employee", "state", "flagged"])
+    root.internal_service(
+        "Submit",
+        pre=Eq(Var("employee"), NULL),
+        post=And(Neq(Var("employee"), NULL), Eq(Var("state"), Const("Submitted"))),
+    )
+    root.internal_service(
+        "Queue",
+        pre=And(Neq(Var("employee"), NULL), Neq(Var("state"), Const("Reimbursed"))),
+        post=Eq(Var("employee"), NULL),
+        insert=("REPORTS", ["employee", "state", "flagged"]),
+    )
+    root.internal_service(
+        "Process",
+        pre=Eq(Var("employee"), NULL),
+        retrieve=("REPORTS", ["employee", "state", "flagged"]),
+    )
+    root.internal_service(
+        "Reimburse",
+        pre=And(Eq(Var("state"), Const("Approved")), Neq(Var("flagged"), Const("Yes"))),
+        post=Eq(Var("state"), Const("Reimbursed")),
+        propagated=["employee", "flagged"],
+    )
+    root.internal_service(
+        "Audit",
+        pre=Eq(Var("state"), Const("Approved")),
+        post=Or(Eq(Var("flagged"), Const("Yes")), Eq(Var("flagged"), Const("No"))),
+        propagated=["employee", "state"],
+    )
+
+    review = builder.task("Review", parent="ExpenseDesk")
+    review.id_variable("employee", "EMPLOYEES", input=True)
+    review.variable("state", output=True)
+    review.variable("en")
+    review.id_variable("dept", "DEPARTMENTS")
+    review.opening(pre=Eq(Var("state"), Const("Submitted")), input_map={"employee": "employee"})
+    review.closing(
+        pre=Or(Eq(Var("state"), Const("Approved")), Eq(Var("state"), Const("Rejected"))),
+        output_map={"state": "state"},
+    )
+    review.internal_service(
+        "ManagerReview",
+        post=And(
+            RelationAtom("EMPLOYEES", [Var("employee"), Var("en"), Var("dept")]),
+            Or(Eq(Var("state"), Const("Approved")), Eq(Var("state"), Const("Rejected"))),
+        ),
+        propagated=["employee"],
+    )
+    return builder.build()
+
+
+def course_registration():
+    """A university course registration workflow with waitlisting."""
+    schema = DatabaseSchema.from_dict(
+        {
+            "STUDENTS": {"student_name": None, "standing": None},
+            "COURSES": {"course_name": None, "capacity": None},
+        }
+    )
+    builder = ArtifactSystemBuilder("course-registration", schema)
+
+    root = builder.task("Registrar")
+    root.id_variable("student", "STUDENTS")
+    root.id_variable("course", "COURSES")
+    root.variable("state")
+    root.artifact_relation("WAITLIST", ["student", "course", "state"])
+    root.internal_service(
+        "Request",
+        pre=Eq(Var("student"), NULL),
+        post=And(
+            And(Neq(Var("student"), NULL), Neq(Var("course"), NULL)),
+            Eq(Var("state"), Const("Requested")),
+        ),
+    )
+    root.internal_service(
+        "Waitlist",
+        pre=And(Neq(Var("student"), NULL), Eq(Var("state"), Const("Full"))),
+        post=And(Eq(Var("student"), NULL), Eq(Var("course"), NULL)),
+        insert=("WAITLIST", ["student", "course", "state"]),
+    )
+    root.internal_service(
+        "PromoteFromWaitlist",
+        pre=Eq(Var("student"), NULL),
+        retrieve=("WAITLIST", ["student", "course", "state"]),
+    )
+    root.internal_service(
+        "Enroll",
+        pre=Eq(Var("state"), Const("Requested")),
+        post=Or(Eq(Var("state"), Const("Enrolled")), Eq(Var("state"), Const("Full"))),
+        propagated=["student", "course"],
+    )
+    root.internal_service(
+        "Drop",
+        pre=Eq(Var("state"), Const("Enrolled")),
+        post=And(
+            And(Eq(Var("student"), NULL), Eq(Var("course"), NULL)),
+            Eq(Var("state"), NULL),
+        ),
+    )
+
+    advise = builder.task("Advising", parent="Registrar")
+    advise.id_variable("student", "STUDENTS", input=True)
+    advise.variable("state", output=True)
+    advise.variable("sn")
+    advise.variable("standing")
+    advise.opening(pre=Eq(Var("state"), Const("Requested")), input_map={"student": "student"})
+    advise.closing(
+        pre=Or(Eq(Var("state"), Const("Cleared")), Eq(Var("state"), Const("Hold"))),
+        output_map={"state": "state"},
+    )
+    advise.internal_service(
+        "CheckStanding",
+        post=And(
+            RelationAtom("STUDENTS", [Var("student"), Var("sn"), Var("standing")]),
+            Or(
+                And(Eq(Var("standing"), Const("Good")), Eq(Var("state"), Const("Cleared"))),
+                Eq(Var("state"), Const("Hold")),
+            ),
+        ),
+        propagated=["student"],
+    )
+    return builder.build()
+
+
+#: Factory registry: name -> zero-argument callable building a fresh system.
+REAL_WORKFLOW_FACTORIES: Dict[str, Callable[[], object]] = {
+    "order-fulfillment": order_fulfillment,
+    "order-fulfillment-buggy": order_fulfillment_buggy,
+    "loan-origination": loan_origination,
+    "insurance-claim": insurance_claim,
+    "travel-booking": travel_booking,
+    "hiring-pipeline": hiring_pipeline,
+    "procurement": procurement,
+    "support-tickets": support_tickets,
+    "invoicing": invoicing,
+    "shipment-tracking": shipment_tracking,
+    "patient-intake": patient_intake,
+    "expense-reimbursement": expense_reimbursement,
+    "course-registration": course_registration,
+}
+
+
+def real_workflows() -> List:
+    """Fresh instances of every workflow in the real suite (excluding the buggy variant)."""
+    return [
+        factory()
+        for name, factory in REAL_WORKFLOW_FACTORIES.items()
+        if name != "order-fulfillment-buggy"
+    ]

@@ -1,0 +1,296 @@
+"""The synthetic workflow generator (Appendix D).
+
+Every component of a synthetic HAS* specification is generated at random for
+given size parameters:
+
+* the database schema is a random tree of relations, each with a fixed number
+  of data attributes plus a foreign key to its parent (hence acyclic);
+* the task hierarchy is a random tree;
+* each task gets the same number of variables of every type (data variables
+  and id variables per relation); 1/10 of them are input variables and another
+  1/10 are output variables;
+* each task gets a fixed number of internal services with random pre- and
+  post-conditions; with probability 1/3 a service either propagates a random
+  1/10 subset of the variables, inserts a fixed tuple into the task's artifact
+  relation, or retrieves a tuple from it;
+* conditions are random trees over 5 random atoms (``x = y``, ``x = c`` or
+  ``R(x̄)``, each negated with probability 1/2) whose internal nodes are ∧ with
+  probability 4/5 and ∨ with probability 1/5.
+
+Generation is fully deterministic given the seed, which the benchmark harness
+relies on for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.has.artifact_system import ArtifactSystem, SpecificationError
+from repro.has.builder import ArtifactSystemBuilder, TaskBuilder
+from repro.has.conditions import And, Condition, Const, Eq, Neq, Not, NULL, Or, RelationAtom, TrueCond, Var
+from repro.has.schema import DatabaseSchema, Relation, fk_attr, value_attr
+from repro.has.types import IdType
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Size parameters of one synthetic workflow (Appendix D / Table 1)."""
+
+    relations: int = 5
+    tasks: int = 5
+    variables_per_task: int = 15
+    services_per_task: int = 15
+    attributes_per_relation: int = 4
+    atoms_per_condition: int = 5
+    constants: int = 4
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "SyntheticConfig":
+        """A copy scaled in the number of variables and services (used by Figure 9)."""
+        return SyntheticConfig(
+            relations=self.relations,
+            tasks=self.tasks,
+            variables_per_task=max(2, int(round(self.variables_per_task * factor))),
+            services_per_task=max(2, int(round(self.services_per_task * factor))),
+            attributes_per_relation=self.attributes_per_relation,
+            atoms_per_condition=self.atoms_per_condition,
+            constants=self.constants,
+            seed=self.seed,
+        )
+
+
+_CONSTANT_POOL = ["c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"]
+
+
+class _SyntheticGenerator:
+    """Stateful helper that generates one synthetic artifact system."""
+
+    def __init__(self, config: SyntheticConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.constants = _CONSTANT_POOL[: max(1, config.constants)]
+
+    # -- schema -------------------------------------------------------------------
+
+    def _schema(self) -> DatabaseSchema:
+        relations: List[Relation] = []
+        names = [f"R{i}" for i in range(self.config.relations)]
+        for index, name in enumerate(names):
+            attributes = [value_attr(f"a{j}") for j in range(self.config.attributes_per_relation)]
+            if index > 0:
+                parent = names[self.rng.randrange(index)]
+                attributes.append(fk_attr("ref", parent))
+            relations.append(Relation(name, tuple(attributes)))
+        return DatabaseSchema(relations)
+
+    # -- tasks ----------------------------------------------------------------------
+
+    def _hierarchy(self) -> List[Tuple[str, Optional[str]]]:
+        names = [f"T{i}" for i in range(self.config.tasks)]
+        result: List[Tuple[str, Optional[str]]] = [(names[0], None)]
+        for index in range(1, len(names)):
+            parent = names[self.rng.randrange(index)]
+            result.append((names[index], parent))
+        return result
+
+    def _populate_task(
+        self, task: TaskBuilder, schema: DatabaseSchema, is_root: bool
+    ) -> None:
+        relation_names = list(schema.relation_names)
+        n_types = len(relation_names) + 1
+        per_type = max(1, self.config.variables_per_task // n_types)
+        variable_names: List[str] = []
+        for i in range(per_type):
+            name = f"v{i}"
+            variable_names.append(name)
+        for relation in relation_names:
+            for i in range(per_type):
+                variable_names.append(f"id_{relation}_{i}")
+
+        n_io = max(1, len(variable_names) // 10)
+        input_vars = [] if is_root else variable_names[:n_io]
+        output_vars = [] if is_root else variable_names[n_io : 2 * n_io]
+
+        for name in variable_names:
+            if name.startswith("id_"):
+                relation = name.split("_")[1]
+                task.id_variable(
+                    name, relation, input=name in input_vars, output=name in output_vars
+                )
+            else:
+                task.variable(name, input=name in input_vars, output=name in output_vars)
+
+        # One artifact relation per task over a small prefix of the variables.
+        relation_vars = variable_names[: min(3, len(variable_names))]
+        task.artifact_relation("SET", relation_vars)
+
+        for i in range(self.config.services_per_task):
+            self._add_service(task, schema, f"s{i}", variable_names, relation_vars, input_vars)
+
+        # Opening / closing guards: a random (usually satisfiable) condition.
+        if not is_root:
+            task.opening(pre=TrueCond())
+            task.closing(pre=self._condition(task, schema, variable_names, positive_bias=True))
+
+    def _add_service(
+        self,
+        task: TaskBuilder,
+        schema: DatabaseSchema,
+        name: str,
+        variables: Sequence[str],
+        relation_vars: Sequence[str],
+        input_vars: Sequence[str],
+    ) -> None:
+        pre = self._condition(task, schema, variables, positive_bias=True)
+        post = self._condition(task, schema, variables, positive_bias=True)
+        kind = self.rng.random()
+        if kind < 1 / 3:
+            choice = self.rng.randrange(3)
+            if choice == 0:
+                subset_size = max(1, len(variables) // 10)
+                propagated = self.rng.sample(list(variables), subset_size)
+                task.internal_service(name, pre=pre, post=post, propagated=propagated)
+                return
+            if choice == 1:
+                task.internal_service(name, pre=pre, post=post, insert=("SET", relation_vars))
+                return
+            task.internal_service(name, pre=pre, post=post, retrieve=("SET", relation_vars))
+            return
+        task.internal_service(name, pre=pre, post=post)
+
+    # -- conditions -------------------------------------------------------------------
+
+    def _variable_type(self, task: TaskBuilder, name: str):
+        for variable in task._variables:
+            if variable.name == name:
+                return variable.type
+        return None
+
+    def _atom(self, task: TaskBuilder, schema: DatabaseSchema, variables: Sequence[str]) -> Condition:
+        choice = self.rng.randrange(3)
+        if choice == 0:
+            left, right = self.rng.sample(list(variables), 2) if len(variables) >= 2 else (variables[0], variables[0])
+            # Only compare variables of the same type, otherwise fall back to x = c.
+            if self._variable_type(task, left) == self._variable_type(task, right) and left != right:
+                return Eq(Var(left), Var(right))
+            choice = 1
+        if choice == 1:
+            data_vars = [v for v in variables if not isinstance(self._variable_type(task, v), IdType)]
+            if data_vars:
+                variable = self.rng.choice(data_vars)
+                constant = self.rng.choice(self.constants)
+                return Eq(Var(variable), Const(constant))
+            choice = 2
+        # Relational atom over a random relation with a matching id variable.
+        for _attempt in range(4):
+            relation = schema.relation(self.rng.choice(list(schema.relation_names)))
+            id_candidates = [
+                v for v in variables
+                if isinstance(self._variable_type(task, v), IdType)
+                and self._variable_type(task, v).relation == relation.name
+            ]
+            if not id_candidates:
+                continue
+            id_var = self.rng.choice(id_candidates)
+            args: List = [Var(id_var)]
+            feasible = True
+            for attribute in relation.attributes:
+                if attribute.is_foreign_key:
+                    fk_candidates = [
+                        v for v in variables
+                        if isinstance(self._variable_type(task, v), IdType)
+                        and self._variable_type(task, v).relation == attribute.target
+                    ]
+                    if not fk_candidates:
+                        feasible = False
+                        break
+                    args.append(Var(self.rng.choice(fk_candidates)))
+                else:
+                    data_vars = [
+                        v for v in variables
+                        if not isinstance(self._variable_type(task, v), IdType)
+                    ]
+                    if data_vars and self.rng.random() < 0.5:
+                        args.append(Var(self.rng.choice(data_vars)))
+                    else:
+                        args.append(Const(self.rng.choice(self.constants)))
+            if feasible:
+                return RelationAtom(relation.name, args)
+        # Fallback: a simple (dis)equality with a constant.
+        variable = self.rng.choice(list(variables))
+        if isinstance(self._variable_type(task, variable), IdType):
+            return Neq(Var(variable), NULL)
+        return Eq(Var(variable), Const(self.rng.choice(self.constants)))
+
+    def _condition(
+        self,
+        task: TaskBuilder,
+        schema: DatabaseSchema,
+        variables: Sequence[str],
+        positive_bias: bool = False,
+    ) -> Condition:
+        """A random condition tree over ``atoms_per_condition`` random atoms."""
+        negation_probability = 0.25 if positive_bias else 0.5
+        atoms: List[Condition] = []
+        for _ in range(self.config.atoms_per_condition):
+            atom = self._atom(task, schema, variables)
+            if self.rng.random() < negation_probability:
+                atom = Not(atom)
+            atoms.append(atom)
+        while len(atoms) > 1:
+            left = atoms.pop(self.rng.randrange(len(atoms)))
+            right = atoms.pop(self.rng.randrange(len(atoms)))
+            connective = And if self.rng.random() < 0.8 else Or
+            atoms.append(connective(left, right))
+        return atoms[0]
+
+    # -- assembly ------------------------------------------------------------------------
+
+    def generate(self) -> ArtifactSystem:
+        schema = self._schema()
+        builder = ArtifactSystemBuilder(f"synthetic-{self.config.seed}", schema)
+        for name, parent in self._hierarchy():
+            task = builder.task(name, parent=parent)
+            self._populate_task(task, schema, is_root=parent is None)
+        return builder.build()
+
+
+def generate_synthetic_workflow(config: SyntheticConfig) -> ArtifactSystem:
+    """Generate one synthetic workflow for the given size parameters and seed."""
+    return _SyntheticGenerator(config).generate()
+
+
+def synthetic_workflows(
+    count: int = 20,
+    base_config: Optional[SyntheticConfig] = None,
+    seed: int = 0,
+    scale_range: Tuple[float, float] = (0.3, 1.0),
+) -> List[ArtifactSystem]:
+    """A suite of synthetic workflows of increasing complexity.
+
+    The i-th workflow is generated from ``base_config`` scaled linearly between
+    the two ends of ``scale_range`` and seeded deterministically, mirroring the
+    paper's stress-test set of specifications of increasing complexity.
+    """
+    base = base_config or SyntheticConfig()
+    workflows: List[ArtifactSystem] = []
+    for index in range(count):
+        if count > 1:
+            factor = scale_range[0] + (scale_range[1] - scale_range[0]) * index / (count - 1)
+        else:
+            factor = scale_range[1]
+        config = base.scaled(factor)
+        config = SyntheticConfig(
+            relations=config.relations,
+            tasks=config.tasks,
+            variables_per_task=config.variables_per_task,
+            services_per_task=config.services_per_task,
+            attributes_per_relation=config.attributes_per_relation,
+            atoms_per_condition=config.atoms_per_condition,
+            constants=config.constants,
+            seed=seed + index,
+        )
+        workflows.append(generate_synthetic_workflow(config))
+    return workflows

@@ -1,0 +1,71 @@
+"""Counterexample extraction and pretty-printing.
+
+When the verifier finds a violating symbolic run it reports the sequence of
+observable services leading from the opening of the task to the repeatedly
+reachable accepting state, together with the accumulated constraints of the
+partial isomorphism type at each step.  This mirrors the counterexamples the
+paper's verifier produces (Section 2.1 discusses an example: property (†) is
+violated when the in-stock test is moved inside the ShipItem task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.karp_miller import KarpMillerResult, SearchNode
+from repro.core.product import ProductState
+
+
+@dataclass(frozen=True)
+class CounterexampleStep:
+    """One step of a violating symbolic run."""
+
+    service: str
+    description: str
+    buchi_state: int
+
+    def __str__(self) -> str:
+        return f"{self.service}: {self.description}"
+
+
+@dataclass
+class Counterexample:
+    """A violating symbolic local run (a lasso: a finite stem plus a pumpable end)."""
+
+    steps: List[CounterexampleStep] = field(default_factory=list)
+    witness: str = "cycle"
+
+    def services(self) -> List[str]:
+        return [step.service for step in self.steps]
+
+    def pretty(self) -> str:
+        """A human-readable multi-line rendering of the counterexample."""
+        lines = ["Violating symbolic run:"]
+        for position, step in enumerate(self.steps):
+            lines.append(f"  [{position}] {step.service}")
+            lines.append(f"        {step.description}")
+        if self.witness == "omega":
+            lines.append("  ... the final segment can be pumped forever (ω counter).")
+        else:
+            lines.append("  ... the final state lies on a cycle and repeats forever.")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def build_counterexample(
+    result: KarpMillerResult, node_id: int, witness: str
+) -> Counterexample:
+    """The counterexample corresponding to one repeatedly reachable accepting node."""
+    steps: List[CounterexampleStep] = []
+    for node in result.path_to(node_id):
+        steps.append(
+            CounterexampleStep(
+                service=node.service or "<initial>",
+                description=node.state.psi.describe(),
+                buchi_state=node.state.buchi_state,
+            )
+        )
+    return Counterexample(steps=steps, witness=witness)

@@ -1,0 +1,179 @@
+"""Flattening of FO conditions into expression constraints.
+
+Symbolic condition evaluation (Section 3.2) works on partial isomorphism
+types, whose constraints relate *expressions*.  This module converts a
+quantifier-free condition over a task's variables into a disjunction of
+constraint conjunctions over expressions:
+
+* ``x = y``, ``x != y``     -- a single constraint between the two expressions;
+* ``R(x, y1, ..., yk)``     -- the conjunction ``x != null ∧ yi != null ∧
+  x.Ai = yi`` (a positive atom also asserts that none of its arguments is
+  ``null``, because ``null`` never occurs in database relations);
+* ``¬R(x, y1, ..., yk)``    -- the disjunction over ``x.Ai != yi`` plus the
+  disjuncts ``x = null`` / ``yi = null`` (any null argument falsifies the
+  atom, hence satisfies its negation).
+
+The result of :func:`flatten_condition` is the ``conj(φ)`` of the paper: a
+list of constraint conjunctions whose disjunction is equivalent to φ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.expressions import ConstExpr, Expression, ExpressionUniverse, NULL_EXPR, NavExpr
+from repro.core.isotypes import Constraint, EQ, NEQ, PartialIsoType
+from repro.has.conditions import (
+    Condition,
+    Const,
+    Eq,
+    FalseCond,
+    Neq,
+    Not,
+    RelationAtom,
+    Term,
+    TrueCond,
+    Var,
+)
+from repro.has.schema import DatabaseSchema
+
+
+class FlattenError(ValueError):
+    """Raised when a condition cannot be interpreted over the expression universe."""
+
+
+def term_to_expression(term: Term, universe: ExpressionUniverse) -> Expression:
+    """The expression denoted by a term (variable or constant)."""
+    if isinstance(term, Const):
+        return universe.add_constant(term.value)
+    if isinstance(term, Var):
+        if not universe.has_root(term.name):
+            raise FlattenError(f"variable {term.name!r} is not in the expression universe")
+        return universe.variable(term.name)
+    raise FlattenError(f"unsupported term {term!r}")
+
+
+def _flatten_literal(
+    literal: Condition, universe: ExpressionUniverse, schema: DatabaseSchema
+) -> List[List[Constraint]]:
+    """Flatten one NNF literal into a disjunction of constraint conjunctions."""
+    if isinstance(literal, TrueCond):
+        return [[]]
+    if isinstance(literal, FalseCond):
+        return []
+    if isinstance(literal, Eq):
+        left = term_to_expression(literal.left, universe)
+        right = term_to_expression(literal.right, universe)
+        return [[(left, right, EQ)]]
+    if isinstance(literal, Neq):
+        left = term_to_expression(literal.left, universe)
+        right = term_to_expression(literal.right, universe)
+        return [[(left, right, NEQ)]]
+    if isinstance(literal, RelationAtom):
+        return [_flatten_positive_atom(literal, universe, schema)]
+    if isinstance(literal, Not) and isinstance(literal.operand, RelationAtom):
+        return _flatten_negative_atom(literal.operand, universe, schema)
+    raise FlattenError(f"literal {literal} is not supported in NNF conditions")
+
+
+def _atom_expressions(
+    atom: RelationAtom, universe: ExpressionUniverse, schema: DatabaseSchema
+) -> Tuple[Expression, List[Tuple[Expression, Expression]]]:
+    """The id expression and the list of (navigation, argument) expression pairs."""
+    relation = schema.relation(atom.relation)
+    if len(atom.args) != relation.arity:
+        raise FlattenError(
+            f"atom {atom} has {len(atom.args)} arguments, expected {relation.arity}"
+        )
+    id_expression = term_to_expression(atom.id_term, universe)
+    if isinstance(id_expression, ConstExpr):
+        raise FlattenError(f"atom {atom}: the id position must be a variable")
+    pairs: List[Tuple[Expression, Expression]] = []
+    for attribute, term in zip(relation.attributes, atom.attribute_terms):
+        navigation = universe.navigate(id_expression, attribute.name)
+        if navigation is None:
+            raise FlattenError(
+                f"atom {atom}: variable {atom.id_term} does not have the id type of "
+                f"relation {atom.relation!r}"
+            )
+        pairs.append((navigation, term_to_expression(term, universe)))
+    return id_expression, pairs
+
+
+def _flatten_positive_atom(
+    atom: RelationAtom, universe: ExpressionUniverse, schema: DatabaseSchema
+) -> List[Constraint]:
+    id_expression, pairs = _atom_expressions(atom, universe, schema)
+    null = universe.add_constant(None)
+    constraints: List[Constraint] = [(id_expression, null, NEQ)]
+    for navigation, argument in pairs:
+        if not (isinstance(argument, ConstExpr) and not argument.is_null):
+            constraints.append((argument, null, NEQ))
+        constraints.append((navigation, argument, EQ))
+    return constraints
+
+
+def _flatten_negative_atom(
+    atom: RelationAtom, universe: ExpressionUniverse, schema: DatabaseSchema
+) -> List[List[Constraint]]:
+    id_expression, pairs = _atom_expressions(atom, universe, schema)
+    null = universe.add_constant(None)
+    disjuncts: List[List[Constraint]] = [[(id_expression, null, EQ)]]
+    for navigation, argument in pairs:
+        disjuncts.append([(navigation, argument, NEQ)])
+        if not isinstance(argument, ConstExpr):
+            disjuncts.append([(argument, null, EQ)])
+    return disjuncts
+
+
+def flatten_condition(
+    condition: Condition, universe: ExpressionUniverse, schema: DatabaseSchema
+) -> List[List[Constraint]]:
+    """``conj(φ)``: a list of constraint conjunctions equivalent to the condition.
+
+    An empty list means the condition is unsatisfiable; a list containing an
+    empty conjunction means it is trivially true.
+    """
+    disjuncts: List[List[Constraint]] = []
+    for conjunct in condition.dnf():
+        # Each literal may itself flatten to a disjunction (negative atoms),
+        # so we distribute.
+        partial: List[List[Constraint]] = [[]]
+        feasible = True
+        for literal in conjunct:
+            literal_disjuncts = _flatten_literal(literal, universe, schema)
+            if not literal_disjuncts:
+                feasible = False
+                break
+            partial = [
+                existing + additional
+                for existing in partial
+                for additional in literal_disjuncts
+            ]
+        if feasible:
+            disjuncts.extend(partial)
+    return disjuncts
+
+
+def evaluate_condition(
+    tau: PartialIsoType,
+    condition: Condition,
+    universe: ExpressionUniverse,
+    schema: DatabaseSchema,
+) -> List[PartialIsoType]:
+    """``eval(τ, φ)``: all minimal consistent extensions of τ satisfying φ.
+
+    Each returned type extends τ with the constraints of one flattened
+    conjunct of φ; duplicates are removed.
+    """
+    results: List[PartialIsoType] = []
+    seen = set()
+    for constraints in flatten_condition(condition, universe, schema):
+        extended = tau.extend(constraints)
+        if extended is None:
+            continue
+        key = extended.canonical_key()
+        if key not in seen:
+            seen.add(key)
+            results.append(extended)
+    return results

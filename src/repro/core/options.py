@@ -1,0 +1,72 @@
+"""Configuration options of the verifier.
+
+The options mirror the optimizations evaluated in Section 4 of the paper, so
+the benchmark harness can toggle each one independently:
+
+* ``state_pruning``          -- the novel ⪯-based pruning of Section 3.5 (SP);
+  when disabled the search falls back to the classic ``≤`` coverage of the
+  monotone-pruning Karp–Miller algorithm (Section 3.4).
+* ``data_structure_support`` -- the Trie / inverted-list candidate indexes of
+  Section 3.6 (DSS); when disabled candidate sets are computed by linear scan.
+* ``static_analysis``        -- the constraint-graph analysis of Section 3.7 (SA).
+* ``monotone_pruning``       -- the Reynier–Servais active-set pruning of
+  Section 3.4; disabling it yields the plain Karp–Miller tree (Algorithm 1),
+  which is only practical on tiny specifications and exists mainly for
+  differential testing.
+* ``check_repeated_reachability`` -- the full LTL-FO semantics over infinite
+  runs (Section 3.8); when disabled a property is reported violated as soon as
+  an accepting Büchi state is reachable at all (used to measure the overhead
+  of the repeated-reachability module).
+* ``use_artifact_relations`` -- when disabled, artifact-relation updates are
+  ignored (the VERIFAS-NoSet configuration of Table 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class CoverageMode(enum.Enum):
+    """Which coverage relation the search uses for pruning and acceleration."""
+
+    CLASSIC_LEQ = "leq"
+    PRECEQ = "preceq"
+
+
+@dataclass(frozen=True)
+class VerifierOptions:
+    """Tunable options of :class:`repro.core.Verifier`."""
+
+    state_pruning: bool = True
+    data_structure_support: bool = True
+    static_analysis: bool = True
+    monotone_pruning: bool = True
+    check_repeated_reachability: bool = True
+    use_artifact_relations: bool = True
+
+    #: Hard limit on the number of product states the search may materialise.
+    max_states: int = 200_000
+    #: Wall-clock timeout in seconds (``None`` disables the timeout).
+    timeout_seconds: Optional[float] = None
+    #: Hard limit on the states explored by the repeated-reachability phase.
+    max_repeated_states: int = 100_000
+
+    @property
+    def coverage_mode(self) -> CoverageMode:
+        return CoverageMode.PRECEQ if self.state_pruning else CoverageMode.CLASSIC_LEQ
+
+    def with_(self, **changes) -> "VerifierOptions":
+        """A copy of the options with the given fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def all_optimizations(cls) -> "VerifierOptions":
+        """The default, fully optimised configuration (the paper's VERIFAS)."""
+        return cls()
+
+    @classmethod
+    def no_artifact_relations(cls) -> "VerifierOptions":
+        """The VERIFAS-NoSet configuration of Table 2."""
+        return cls(use_artifact_relations=False)

@@ -1,0 +1,168 @@
+"""The top-level VERIFAS verifier.
+
+Usage::
+
+    from repro import Verifier, VerifierOptions
+    from repro.ltl import LTLFOProperty, parse_ltl
+
+    verifier = Verifier(artifact_system, VerifierOptions())
+    result = verifier.verify(ltl_fo_property)
+    if result.violated:
+        print(result.counterexample.pretty())
+
+Verification follows the pipeline of Section 3: the LTL-FO property is
+negated, translated to a Büchi automaton, the product with the symbolic
+transition system of the task is explored with the (optimised) Karp–Miller
+search, and the property is violated iff an accepting product state is
+repeatedly reachable (finite local runs are folded in via the terminal stutter
+step).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.counterexample import Counterexample, build_counterexample
+from repro.core.karp_miller import KarpMillerResult, KarpMillerSearch
+from repro.core.options import VerifierOptions
+from repro.core.product import ProductSystem
+from repro.core.repeated import RepeatedReachabilityAnalyzer
+from repro.core.stats import SearchStatistics
+from repro.core.transitions import SymbolicTransitionSystem
+from repro.has.artifact_system import ArtifactSystem
+from repro.ltl.buchi import ltl_to_buchi
+from repro.ltl.ltlfo import LTLFOProperty
+
+
+class VerificationOutcome(enum.Enum):
+    """The verdict of a verification run."""
+
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VerificationResult:
+    """Verdict, statistics and (when violated) a counterexample."""
+
+    outcome: VerificationOutcome
+    property_name: str
+    task: str
+    stats: SearchStatistics
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def satisfied(self) -> bool:
+        return self.outcome is VerificationOutcome.SATISFIED
+
+    @property
+    def violated(self) -> bool:
+        return self.outcome is VerificationOutcome.VIOLATED
+
+    @property
+    def unknown(self) -> bool:
+        return self.outcome is VerificationOutcome.UNKNOWN
+
+    def summary(self) -> str:
+        return (
+            f"{self.property_name} on task {self.task}: {self.outcome.value} "
+            f"({self.stats.states_explored} states, {self.stats.total_seconds:.3f}s)"
+        )
+
+
+class Verifier:
+    """Verifies LTL-FO properties of tasks of a HAS* specification."""
+
+    def __init__(self, system: ArtifactSystem, options: Optional[VerifierOptions] = None):
+        self.system = system
+        self.options = options or VerifierOptions()
+
+    # ------------------------------------------------------------------ public API
+
+    def verify(self, ltl_property: LTLFOProperty) -> VerificationResult:
+        """Check whether every local run of the property's task satisfies the property."""
+        started = time.monotonic()
+        task_name = ltl_property.task
+        if not self.system.has_task(task_name):
+            raise ValueError(f"property refers to unknown task {task_name!r}")
+
+        transition_system = SymbolicTransitionSystem(
+            self.system, task_name, ltl_property, self.options
+        )
+        ltl_property.validate_against(
+            self.system.task(task_name).variable_names,
+            transition_system.observable_services,
+        )
+
+        # The verifier searches for runs of the *negated* property.
+        negated = ltl_property.formula.negated()
+        automaton = ltl_to_buchi(negated, extra_propositions=transition_system.observable_services)
+
+        product = ProductSystem(transition_system, automaton, ltl_property)
+        search = KarpMillerSearch(product, self.options)
+        result = search.run()
+        stats = search.stats
+        stats.constraints_dropped = transition_system.constraint_filter.dropped_edge_count
+
+        deadline = (
+            started + self.options.timeout_seconds
+            if self.options.timeout_seconds is not None
+            else None
+        )
+        outcome, counterexample = self._verdict(product, result, stats, deadline)
+        stats.total_seconds = time.monotonic() - started
+        return VerificationResult(
+            outcome=outcome,
+            property_name=ltl_property.name,
+            task=task_name,
+            stats=stats,
+            counterexample=counterexample,
+        )
+
+    def verify_all(self, properties: Sequence[LTLFOProperty]) -> List[VerificationResult]:
+        """Verify a collection of properties, one result per property."""
+        return [self.verify(ltl_property) for ltl_property in properties]
+
+    # ------------------------------------------------------------------ verdict
+
+    def _verdict(
+        self,
+        product: ProductSystem,
+        result: KarpMillerResult,
+        stats: SearchStatistics,
+        deadline: Optional[float] = None,
+    ) -> Tuple[VerificationOutcome, Optional[Counterexample]]:
+        accepting_nodes = [
+            node for node in result.nodes if product.is_accepting(node.state)
+        ]
+
+        if not self.options.check_repeated_reachability:
+            # Reachability-only mode (used to measure the overhead of the
+            # repeated-reachability module): any reachable accepting state is
+            # reported as a violation.
+            if accepting_nodes:
+                node = accepting_nodes[0]
+                return (
+                    VerificationOutcome.VIOLATED,
+                    build_counterexample(result, node.node_id, "reachable"),
+                )
+            if not result.completed:
+                return VerificationOutcome.UNKNOWN, None
+            return VerificationOutcome.SATISFIED, None
+
+        analyzer = RepeatedReachabilityAnalyzer(product, self.options, stats, deadline)
+        repeated = analyzer.analyse(result)
+        if repeated.found_violation:
+            node_id = min(repeated.repeated_node_ids)
+            witness = repeated.witnesses.get(node_id, "cycle")
+            return VerificationOutcome.VIOLATED, build_counterexample(result, node_id, witness)
+        if not result.completed or not repeated.completed:
+            stats.timed_out = stats.timed_out or (
+                deadline is not None and time.monotonic() > deadline
+            )
+            return VerificationOutcome.UNKNOWN, None
+        return VerificationOutcome.SATISFIED, None

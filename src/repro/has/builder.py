@@ -1,0 +1,223 @@
+"""Fluent builders for HAS* specifications.
+
+Writing an :class:`~repro.has.artifact_system.ArtifactSystem` by hand requires
+assembling tasks, services and hierarchy mappings; the builders in this module
+offer a compact, declarative way to do that, used extensively by the example
+programs and the benchmark workflow suites.
+
+Example (a single-task system)::
+
+    builder = ArtifactSystemBuilder("demo", schema)
+    task = builder.task("Main")
+    task.id_variable("cust_id", "CUSTOMERS")
+    task.variable("status")
+    task.internal_service("init", pre=Eq(Var("status"), NULL),
+                          post=Eq(Var("status"), Const("Init")))
+    system = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.has.artifact_system import ArtifactSystem
+from repro.has.conditions import Condition, FalseCond, TrueCond
+from repro.has.schema import DatabaseSchema
+from repro.has.services import (
+    ClosingService,
+    Insert,
+    InternalService,
+    OpeningService,
+    Retrieve,
+    Update,
+)
+from repro.has.tasks import ArtifactRelation, TaskSchema, Variable
+from repro.has.types import IdType, VALUE, VarType
+
+
+class TaskBuilder:
+    """Accumulates the definition of one task; obtained from :class:`ArtifactSystemBuilder.task`."""
+
+    def __init__(self, builder: "ArtifactSystemBuilder", name: str, parent: Optional[str]):
+        self._builder = builder
+        self.name = name
+        self.parent = parent
+        self._variables: List[Variable] = []
+        self._relations: List[ArtifactRelation] = []
+        self._input: List[str] = []
+        self._output: List[str] = []
+        self._services: List[InternalService] = []
+        self._opening_pre: Condition = TrueCond()
+        self._closing_pre: Optional[Condition] = None
+        self._input_map: Dict[str, str] = {}
+        self._output_map: Dict[str, str] = {}
+
+    # -- variables ---------------------------------------------------------------
+
+    def variable(self, name: str, input: bool = False, output: bool = False) -> "TaskBuilder":
+        """Declare a data variable."""
+        return self._add_variable(Variable(name, VALUE), input, output)
+
+    def id_variable(
+        self, name: str, relation: str, input: bool = False, output: bool = False
+    ) -> "TaskBuilder":
+        """Declare an id variable ranging over the ids of *relation*."""
+        return self._add_variable(Variable(name, IdType(relation)), input, output)
+
+    def _add_variable(self, variable: Variable, input: bool, output: bool) -> "TaskBuilder":
+        self._variables.append(variable)
+        if input:
+            self._input.append(variable.name)
+        if output:
+            self._output.append(variable.name)
+        return self
+
+    def artifact_relation(self, name: str, attributes: Sequence[str]) -> "TaskBuilder":
+        """Declare an artifact relation whose attributes copy the types of existing variables."""
+        attrs = []
+        declared = {v.name: v for v in self._variables}
+        for attr_name in attributes:
+            if attr_name not in declared:
+                raise KeyError(
+                    f"artifact relation {name!r}: attribute {attr_name!r} must match an "
+                    f"already-declared variable of task {self.name!r}"
+                )
+            attrs.append(Variable(attr_name, declared[attr_name].type))
+        self._relations.append(ArtifactRelation(name, attrs))
+        return self
+
+    # -- services -----------------------------------------------------------------
+
+    def internal_service(
+        self,
+        name: str,
+        pre: Condition = TrueCond(),
+        post: Condition = TrueCond(),
+        propagated: Iterable[str] = (),
+        insert: Optional[Tuple[str, Sequence[str]]] = None,
+        retrieve: Optional[Tuple[str, Sequence[str]]] = None,
+    ) -> "TaskBuilder":
+        """Declare an internal service.
+
+        ``insert`` / ``retrieve`` are ``(relation, variables)`` pairs; at most
+        one may be given.  When one is given, the propagated set defaults to
+        the task's input variables, as the model requires.
+        """
+        update: Optional[Update] = None
+        if insert is not None and retrieve is not None:
+            raise ValueError(f"service {name!r}: at most one of insert/retrieve may be given")
+        if insert is not None:
+            update = Insert(insert[0], insert[1])
+        if retrieve is not None:
+            update = Retrieve(retrieve[0], retrieve[1])
+        propagated = set(propagated) | set(self._input)
+        if update is not None:
+            propagated = set(self._input)
+        self._services.append(
+            InternalService(name, self.name, pre=pre, post=post, propagated=propagated, update=update)
+        )
+        return self
+
+    def opening(self, pre: Condition = TrueCond(), input_map: Optional[Dict[str, str]] = None) -> "TaskBuilder":
+        """Set the opening guard (a condition over the parent's variables) and input map."""
+        self._opening_pre = pre
+        if input_map is not None:
+            self._input_map = dict(input_map)
+        return self
+
+    def closing(self, pre: Condition = TrueCond(), output_map: Optional[Dict[str, str]] = None) -> "TaskBuilder":
+        """Set the closing guard (a condition over this task's variables) and output map."""
+        self._closing_pre = pre
+        if output_map is not None:
+            self._output_map = dict(output_map)
+        return self
+
+    # -- assembly -------------------------------------------------------------------
+
+    def _task_schema(self) -> TaskSchema:
+        return TaskSchema(
+            self.name,
+            self._variables,
+            self._relations,
+            input_variables=self._input,
+            output_variables=self._output,
+        )
+
+    def _opening_service(self) -> OpeningService:
+        input_map = dict(self._input_map)
+        if not input_map and self._input and self.parent is not None:
+            # Default: input variables map to the parent's variables of the same name.
+            input_map = {name: name for name in self._input}
+        return OpeningService(self.name, self._opening_pre, input_map)
+
+    def _closing_service(self, is_root: bool) -> ClosingService:
+        pre = self._closing_pre
+        if pre is None:
+            pre = FalseCond() if is_root else TrueCond()
+        output_map = dict(self._output_map)
+        if not output_map and self._output and not is_root:
+            output_map = {name: name for name in self._output}
+        return ClosingService(self.name, pre, output_map)
+
+
+class ArtifactSystemBuilder:
+    """Top-level builder: declare tasks (with parents), then :meth:`build`.
+
+    When no global pre-condition is given, the builder generates one that
+    initialises every variable of the root task to ``null`` -- the same
+    convention as the paper's running example ("all variables are initialized
+    to null by the global pre-condition").  Pass an explicit condition to
+    override this (the paper's semantics allows any initial valuation that
+    satisfies Π).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: DatabaseSchema,
+        global_precondition: Optional[Condition] = None,
+    ):
+        self.name = name
+        self.schema = schema
+        self.global_precondition = global_precondition
+        self._tasks: Dict[str, TaskBuilder] = {}
+        self._order: List[str] = []
+
+    def task(self, name: str, parent: Optional[str] = None) -> TaskBuilder:
+        """Declare a task.  The first task declared without a parent is the root."""
+        if name in self._tasks:
+            raise ValueError(f"task {name!r} already declared")
+        if parent is not None and parent not in self._tasks:
+            raise ValueError(f"parent task {parent!r} must be declared before {name!r}")
+        builder = TaskBuilder(self, name, parent)
+        self._tasks[name] = builder
+        self._order.append(name)
+        return builder
+
+    def build(self) -> ArtifactSystem:
+        """Assemble and validate the artifact system."""
+        tasks = [self._tasks[name]._task_schema() for name in self._order]
+        hierarchy = {name: self._tasks[name].parent for name in self._order}
+        root_candidates = [name for name, parent in hierarchy.items() if parent is None]
+        root = root_candidates[0] if root_candidates else None
+        internal = [s for name in self._order for s in self._tasks[name]._services]
+        opening = [self._tasks[name]._opening_service() for name in self._order]
+        closing = [self._tasks[name]._closing_service(name == root) for name in self._order]
+        global_precondition = self.global_precondition
+        if global_precondition is None and root is not None:
+            from repro.has.conditions import NULL, Eq, Var, conjunction
+
+            global_precondition = conjunction(
+                Eq(Var(variable.name), NULL)
+                for variable in self._tasks[root]._variables
+            )
+        return ArtifactSystem(
+            schema=self.schema,
+            tasks=tasks,
+            hierarchy=hierarchy,
+            internal_services=internal,
+            opening_services=opening,
+            closing_services=closing,
+            global_precondition=global_precondition or TrueCond(),
+            name=self.name,
+        )

@@ -1,0 +1,510 @@
+"""Quantifier-free first-order conditions over artifact variables.
+
+Conditions (Section 2 of the paper) are quantifier-free FO formulas over the
+database schema and equality, whose terms are artifact variables and
+constants (including ``null``).  They appear as service pre/post-conditions,
+opening/closing guards, the global pre-condition and as the FO component of
+LTL-FO properties.
+
+The module provides:
+
+* a small term language (:class:`Var`, :class:`Const`, the ``NULL`` constant),
+* a condition AST (:class:`Eq`, :class:`Neq`, :class:`RelationAtom`,
+  :class:`And`, :class:`Or`, :class:`Not`, :class:`TrueCond`,
+  :class:`FalseCond`),
+* negation normal form and disjunctive normal form conversion,
+* concrete evaluation against a valuation and a :class:`~repro.has.database.Database`,
+* variable collection and variable renaming (used when instantiating
+  properties and when generating synthetic workflows).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """An artifact variable occurrence (identified by name)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant. ``Const(None)`` is the special ``null`` constant."""
+
+    value: Union[str, int, float, None]
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "null"
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+    @property
+    def is_null(self) -> bool:
+        return self.value is None
+
+
+Term = Union[Var, Const]
+
+#: The special ``null`` constant used as default initialisation value.
+NULL = Const(None)
+
+
+def as_term(value: Union[Term, str, int, float, None]) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings starting and ending with a double quote become string constants;
+    any other string becomes a variable; numbers and ``None`` become
+    constants.  Existing terms pass through unchanged.
+    """
+    if isinstance(value, (Var, Const)):
+        return value
+    if value is None:
+        return NULL
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, str):
+        if len(value) >= 2 and value.startswith('"') and value.endswith('"'):
+            return Const(value[1:-1])
+        return Var(value)
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """Base class of all condition AST nodes.
+
+    Conditions are immutable; boolean connectives can be formed with the
+    ``&``, ``|`` and ``~`` operators.
+    """
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+    # -- structural queries -------------------------------------------------
+
+    def variables(self) -> Set[str]:
+        """Names of all variables occurring in the condition."""
+        raise NotImplementedError
+
+    def constants(self) -> Set[Const]:
+        """All (non-null and null) constants occurring in the condition."""
+        raise NotImplementedError
+
+    def atoms(self) -> List["Condition"]:
+        """All atomic subformulas (Eq / Neq / RelationAtom / True / False)."""
+        raise NotImplementedError
+
+    # -- transformations -----------------------------------------------------
+
+    def rename(self, mapping: Dict[str, str]) -> "Condition":
+        """Rename variables according to *mapping* (missing names unchanged)."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, Term]) -> "Condition":
+        """Replace variables by arbitrary terms."""
+        raise NotImplementedError
+
+    def nnf(self, negate: bool = False) -> "Condition":
+        """Negation normal form; with ``negate=True``, the NNF of the negation."""
+        raise NotImplementedError
+
+    def dnf(self) -> List[Tuple["Literal", ...]]:
+        """Disjunctive normal form of the NNF, as a list of literal tuples.
+
+        Each tuple is a conjunction of literals; the condition is equivalent
+        to the disjunction of those conjunctions.  An empty list means the
+        condition is unsatisfiable (``False``); a list containing an empty
+        tuple means it is valid (``True``).
+        """
+        return _dnf(self.nnf())
+
+    # -- concrete evaluation ---------------------------------------------------
+
+    def evaluate(self, valuation: Dict[str, object], database: "DatabaseLike") -> bool:
+        """Evaluate the condition under *valuation* against *database*.
+
+        ``valuation`` maps variable names to concrete values (``None`` for
+        ``null``).  Relational atoms with a ``null`` argument are false, as
+        required by the paper (null never occurs in database relations).
+        """
+        raise NotImplementedError
+
+    # -- misc -----------------------------------------------------------------
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+
+class DatabaseLike:
+    """Protocol for concrete condition evaluation (see :class:`repro.has.database.Database`)."""
+
+    def contains_tuple(self, relation: str, values: Sequence[object]) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _term_value(term: Term, valuation: Dict[str, object]) -> object:
+    if isinstance(term, Const):
+        return term.value
+    if term.name not in valuation:
+        raise KeyError(f"variable {term.name!r} is not bound in the valuation")
+    return valuation[term.name]
+
+
+@dataclass(frozen=True)
+class TrueCond(Condition):
+    """The condition that always holds."""
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def constants(self) -> Set[Const]:
+        return set()
+
+    def atoms(self) -> List[Condition]:
+        return [self]
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return self
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return self
+
+    def nnf(self, negate: bool = False) -> Condition:
+        return FalseCond() if negate else self
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseCond(Condition):
+    """The condition that never holds."""
+
+    def variables(self) -> Set[str]:
+        return set()
+
+    def constants(self) -> Set[Const]:
+        return set()
+
+    def atoms(self) -> List[Condition]:
+        return [self]
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return self
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return self
+
+    def nnf(self, negate: bool = False) -> Condition:
+        return TrueCond() if negate else self
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Eq(Condition):
+    """Equality between two terms (``x = y``, ``x = "c"``, ``x = null``)."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> Set[str]:
+        return {t.name for t in (self.left, self.right) if isinstance(t, Var)}
+
+    def constants(self) -> Set[Const]:
+        return {t for t in (self.left, self.right) if isinstance(t, Const)}
+
+    def atoms(self) -> List[Condition]:
+        return [self]
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return Eq(_rename_term(self.left, mapping), _rename_term(self.right, mapping))
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return Eq(_subst_term(self.left, mapping), _subst_term(self.right, mapping))
+
+    def nnf(self, negate: bool = False) -> Condition:
+        return Neq(self.left, self.right) if negate else self
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        return _term_value(self.left, valuation) == _term_value(self.right, valuation)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Neq(Condition):
+    """Disequality between two terms."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> Set[str]:
+        return {t.name for t in (self.left, self.right) if isinstance(t, Var)}
+
+    def constants(self) -> Set[Const]:
+        return {t for t in (self.left, self.right) if isinstance(t, Const)}
+
+    def atoms(self) -> List[Condition]:
+        return [self]
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return Neq(_rename_term(self.left, mapping), _rename_term(self.right, mapping))
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return Neq(_subst_term(self.left, mapping), _subst_term(self.right, mapping))
+
+    def nnf(self, negate: bool = False) -> Condition:
+        return Eq(self.left, self.right) if negate else self
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        return _term_value(self.left, valuation) != _term_value(self.right, valuation)
+
+    def __str__(self) -> str:
+        return f"{self.left} != {self.right}"
+
+
+@dataclass(frozen=True)
+class RelationAtom(Condition):
+    """A relational atom ``R(id_term, a1, ..., ak)``.
+
+    The first argument is the key (id) position; the remaining arguments
+    correspond, in declaration order, to the relation's non-key attributes
+    (value attributes and foreign keys).
+    """
+
+    relation: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, relation: str, args: Iterable[Union[Term, str, int, float, None]]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(as_term(a) for a in args))
+        if not self.args:
+            raise ValueError(f"relational atom {relation} needs at least the id argument")
+
+    @property
+    def id_term(self) -> Term:
+        return self.args[0]
+
+    @property
+    def attribute_terms(self) -> Tuple[Term, ...]:
+        return self.args[1:]
+
+    def variables(self) -> Set[str]:
+        return {t.name for t in self.args if isinstance(t, Var)}
+
+    def constants(self) -> Set[Const]:
+        return {t for t in self.args if isinstance(t, Const)}
+
+    def atoms(self) -> List[Condition]:
+        return [self]
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return RelationAtom(self.relation, [_rename_term(t, mapping) for t in self.args])
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return RelationAtom(self.relation, [_subst_term(t, mapping) for t in self.args])
+
+    def nnf(self, negate: bool = False) -> Condition:
+        return Not(self) if negate else self
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        values = [_term_value(t, valuation) for t in self.args]
+        if any(v is None for v in values):
+            return False
+        return database.contains_tuple(self.relation, values)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation.  In NNF, negation only wraps relational atoms."""
+
+    operand: Condition
+
+    def variables(self) -> Set[str]:
+        return self.operand.variables()
+
+    def constants(self) -> Set[Const]:
+        return self.operand.constants()
+
+    def atoms(self) -> List[Condition]:
+        return self.operand.atoms()
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return Not(self.operand.rename(mapping))
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return Not(self.operand.substitute(mapping))
+
+    def nnf(self, negate: bool = False) -> Condition:
+        return self.operand.nnf(not negate)
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        return not self.operand.evaluate(valuation, database)
+
+    def __str__(self) -> str:
+        return f"not({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def variables(self) -> Set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def constants(self) -> Set[Const]:
+        return self.left.constants() | self.right.constants()
+
+    def atoms(self) -> List[Condition]:
+        return self.left.atoms() + self.right.atoms()
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return And(self.left.rename(mapping), self.right.rename(mapping))
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return And(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def nnf(self, negate: bool = False) -> Condition:
+        if negate:
+            return Or(self.left.nnf(True), self.right.nnf(True))
+        return And(self.left.nnf(False), self.right.nnf(False))
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        return self.left.evaluate(valuation, database) and self.right.evaluate(valuation, database)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def variables(self) -> Set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def constants(self) -> Set[Const]:
+        return self.left.constants() | self.right.constants()
+
+    def atoms(self) -> List[Condition]:
+        return self.left.atoms() + self.right.atoms()
+
+    def rename(self, mapping: Dict[str, str]) -> Condition:
+        return Or(self.left.rename(mapping), self.right.rename(mapping))
+
+    def substitute(self, mapping: Dict[str, Term]) -> Condition:
+        return Or(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def nnf(self, negate: bool = False) -> Condition:
+        if negate:
+            return And(self.left.nnf(True), self.right.nnf(True))
+        return Or(self.left.nnf(False), self.right.nnf(False))
+
+    def evaluate(self, valuation: Dict[str, object], database: DatabaseLike) -> bool:
+        return self.left.evaluate(valuation, database) or self.right.evaluate(valuation, database)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+#: A literal in NNF / DNF: an (in)equality, a relational atom, or a negated
+#: relational atom.
+Literal = Union[Eq, Neq, RelationAtom, Not, TrueCond, FalseCond]
+
+
+def _rename_term(term: Term, mapping: Dict[str, str]) -> Term:
+    if isinstance(term, Var) and term.name in mapping:
+        return Var(mapping[term.name])
+    return term
+
+
+def _subst_term(term: Term, mapping: Dict[str, Term]) -> Term:
+    if isinstance(term, Var) and term.name in mapping:
+        return mapping[term.name]
+    return term
+
+
+# ---------------------------------------------------------------------------
+# Helpers: conjunction / disjunction of many operands, DNF
+# ---------------------------------------------------------------------------
+
+
+def conjunction(conditions: Iterable[Condition]) -> Condition:
+    """Conjunction of an arbitrary number of conditions (``true`` if empty)."""
+    result: Optional[Condition] = None
+    for condition in conditions:
+        result = condition if result is None else And(result, condition)
+    return result if result is not None else TrueCond()
+
+
+def disjunction(conditions: Iterable[Condition]) -> Condition:
+    """Disjunction of an arbitrary number of conditions (``false`` if empty)."""
+    result: Optional[Condition] = None
+    for condition in conditions:
+        result = condition if result is None else Or(result, condition)
+    return result if result is not None else FalseCond()
+
+
+def _dnf(nnf_condition: Condition) -> List[Tuple[Literal, ...]]:
+    """DNF of a condition already in negation normal form."""
+    if isinstance(nnf_condition, TrueCond):
+        return [()]
+    if isinstance(nnf_condition, FalseCond):
+        return []
+    if isinstance(nnf_condition, (Eq, Neq, RelationAtom)):
+        return [(nnf_condition,)]
+    if isinstance(nnf_condition, Not):
+        # In NNF, negation only wraps relational atoms.
+        if not isinstance(nnf_condition.operand, RelationAtom):
+            raise ValueError(f"condition not in NNF: {nnf_condition}")
+        return [(nnf_condition,)]
+    if isinstance(nnf_condition, Or):
+        return _dnf(nnf_condition.left) + _dnf(nnf_condition.right)
+    if isinstance(nnf_condition, And):
+        left = _dnf(nnf_condition.left)
+        right = _dnf(nnf_condition.right)
+        return [l + r for l, r in itertools.product(left, right)]
+    raise TypeError(f"unexpected condition node {nnf_condition!r}")

@@ -1,0 +1,64 @@
+"""Linear-time temporal logic (LTL) and LTL-FO.
+
+The verifier needs three things from this subpackage:
+
+* an LTL abstract syntax (:mod:`repro.ltl.syntax`) plus a small parser
+  (:mod:`repro.ltl.parser`),
+* the translation from an LTL formula to a Büchi automaton via the classic
+  Gerth--Peled--Vardi--Wolper tableau construction (:mod:`repro.ltl.buchi`),
+* LTL-FO properties: an LTL skeleton whose propositions are interpreted
+  either as quantifier-free FO conditions over a task's variables (plus
+  universally quantified global variables) or as observable service names
+  (:mod:`repro.ltl.ltlfo`).
+"""
+
+from repro.ltl.syntax import (
+    And as LAnd,
+    Finally,
+    Formula,
+    Globally,
+    Implies,
+    LFalse,
+    LTrue,
+    Next,
+    Not as LNot,
+    Or as LOr,
+    Prop,
+    Release,
+    Until,
+    F,
+    G,
+    U,
+    X,
+)
+from repro.ltl.parser import parse_ltl
+from repro.ltl.buchi import BuchiAutomaton, ltl_to_buchi
+from repro.ltl.evaluate import evaluate_finite_trace, evaluate_lasso
+from repro.ltl.ltlfo import GlobalVariable, LTLFOProperty
+
+__all__ = [
+    "Formula",
+    "Prop",
+    "LTrue",
+    "LFalse",
+    "LAnd",
+    "LOr",
+    "LNot",
+    "Next",
+    "Until",
+    "Release",
+    "Globally",
+    "Finally",
+    "Implies",
+    "G",
+    "F",
+    "X",
+    "U",
+    "parse_ltl",
+    "BuchiAutomaton",
+    "ltl_to_buchi",
+    "evaluate_finite_trace",
+    "evaluate_lasso",
+    "LTLFOProperty",
+    "GlobalVariable",
+]

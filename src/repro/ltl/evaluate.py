@@ -1,0 +1,119 @@
+"""Direct evaluation of LTL formulas on explicit traces.
+
+These evaluators are *reference implementations* used by the test-suite to
+cross-check the Büchi construction and the verifier:
+
+* :func:`evaluate_lasso` evaluates a formula on an ultimately periodic word
+  ``prefix · cycle^ω`` by computing the satisfaction of every subformula at
+  every position of the lasso (least / greatest fixpoints for U / R).
+* :func:`evaluate_finite_trace` evaluates a formula on a finite trace under
+  the *stutter-extension* semantics used by the verifier for closed local
+  runs: the final letter is conceptually repeated forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.ltl.syntax import (
+    And,
+    Finally,
+    Formula,
+    Globally,
+    Implies,
+    LFalse,
+    LTrue,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Release,
+    Until,
+)
+
+Assignment = Set[str]
+
+
+def evaluate_lasso(formula: Formula, prefix: Sequence[Assignment], cycle: Sequence[Assignment]) -> bool:
+    """Truth of *formula* on the infinite word ``prefix · cycle^ω`` (at position 0)."""
+    if not cycle:
+        raise ValueError("the periodic part of a lasso must be non-empty")
+    word: List[Assignment] = [set(a) for a in prefix] + [set(a) for a in cycle]
+    n = len(word)
+    loop_start = len(prefix)
+
+    def successor(position: int) -> int:
+        return position + 1 if position + 1 < n else loop_start
+
+    return _evaluate(formula.nnf(), word, successor)[0]
+
+
+def evaluate_finite_trace(formula: Formula, trace: Sequence[Assignment]) -> bool:
+    """Truth of *formula* on a finite trace under stutter-extension semantics.
+
+    The trace must be non-empty; its last letter is repeated forever, which is
+    exactly how the verifier treats local runs that end with the task's
+    closing service (the ``__terminated__`` stutter step).
+    """
+    if not trace:
+        raise ValueError("cannot evaluate an LTL formula on an empty trace")
+    # A stuttered finite trace is the lasso whose cycle is the last letter.
+    return evaluate_lasso(formula, list(trace[:-1]), [trace[-1]])
+
+
+def _evaluate(nnf: Formula, word: List[Assignment], successor) -> List[bool]:
+    """Satisfaction vector (one bool per position) for an NNF formula."""
+    n = len(word)
+    if isinstance(nnf, LTrue):
+        return [True] * n
+    if isinstance(nnf, LFalse):
+        return [False] * n
+    if isinstance(nnf, Prop):
+        return [nnf.name in word[i] for i in range(n)]
+    if isinstance(nnf, Not):
+        if not isinstance(nnf.operand, Prop):
+            raise ValueError(f"formula not in NNF: {nnf}")
+        return [nnf.operand.name not in word[i] for i in range(n)]
+    if isinstance(nnf, And):
+        left = _evaluate(nnf.left, word, successor)
+        right = _evaluate(nnf.right, word, successor)
+        return [l and r for l, r in zip(left, right)]
+    if isinstance(nnf, Or):
+        left = _evaluate(nnf.left, word, successor)
+        right = _evaluate(nnf.right, word, successor)
+        return [l or r for l, r in zip(left, right)]
+    if isinstance(nnf, Next):
+        operand = _evaluate(nnf.operand, word, successor)
+        return [operand[successor(i)] for i in range(n)]
+    if isinstance(nnf, Until):
+        left = _evaluate(nnf.left, word, successor)
+        right = _evaluate(nnf.right, word, successor)
+        # Least fixpoint: start from the right operand and add positions where
+        # the left operand holds and the successor already satisfies the until.
+        sat = list(right)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n):
+                if not sat[i] and left[i] and sat[successor(i)]:
+                    sat[i] = True
+                    changed = True
+        return sat
+    if isinstance(nnf, Release):
+        left = _evaluate(nnf.left, word, successor)
+        right = _evaluate(nnf.right, word, successor)
+        # Greatest fixpoint: start from the right operand and remove positions
+        # where the release obligation is not discharged.
+        sat = list(right)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n):
+                if sat[i] and not (right[i] and (left[i] or sat[successor(i)])):
+                    sat[i] = False
+                    changed = True
+        return sat
+    # G / F / Implies should have been rewritten by nnf(); handle defensively.
+    if isinstance(nnf, (Globally, Finally, Implies)):  # pragma: no cover - defensive
+        return _evaluate(nnf.nnf(), word, successor)
+    raise TypeError(f"unsupported formula {nnf!r}")

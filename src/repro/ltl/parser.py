@@ -1,0 +1,162 @@
+"""A small recursive-descent parser for LTL formulas.
+
+Grammar (operators listed from lowest to highest precedence)::
+
+    formula   := until ( ('->' | '<->') until )*
+    until     := or ( ('U' | 'R') or )*        (right associative)
+    or        := and ( '|' and )*
+    and       := unary ( '&' unary )*
+    unary     := '!' unary | 'X' unary | 'G' unary | 'F' unary | atom
+    atom      := 'true' | 'false' | identifier | '(' formula ')'
+
+Identifiers may contain letters, digits, underscores and dots, so service
+proposition names such as ``open_ShipItem`` parse directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ltl.syntax import (
+    And,
+    Finally,
+    Formula,
+    Globally,
+    Implies,
+    LFalse,
+    LTrue,
+    Next,
+    Not,
+    Or,
+    Prop,
+    Release,
+    Until,
+)
+
+
+class LTLParseError(ValueError):
+    """Raised on malformed LTL input."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow><->|->)|(?P<op>[!&|()])|(?P<word>[A-Za-z_][A-Za-z0-9_.]*))"
+)
+
+_RESERVED = {"U", "R", "X", "G", "F", "true", "false"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise LTLParseError(f"unexpected input at {remainder[:20]!r}")
+        tokens.append(match.group("arrow") or match.group("op") or match.group("word"))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self) -> Optional[str]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise LTLParseError("unexpected end of formula")
+        self._position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        actual = self.next()
+        if actual != token:
+            raise LTLParseError(f"expected {token!r}, found {actual!r}")
+
+    # Precedence climbing -------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        left = self.parse_until()
+        while self.peek() in ("->", "<->"):
+            operator = self.next()
+            right = self.parse_until()
+            if operator == "->":
+                left = Implies(left, right)
+            else:
+                left = And(Implies(left, right), Implies(right, left))
+        return left
+
+    def parse_until(self) -> Formula:
+        left = self.parse_or()
+        if self.peek() in ("U", "R"):
+            operator = self.next()
+            right = self.parse_until()  # right associative
+            return Until(left, right) if operator == "U" else Release(left, right)
+        return left
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self.peek() == "|":
+            self.next()
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_unary()
+        while self.peek() == "&":
+            self.next()
+            left = And(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token == "!":
+            self.next()
+            return Not(self.parse_unary())
+        if token == "X":
+            self.next()
+            return Next(self.parse_unary())
+        if token == "G":
+            self.next()
+            return Globally(self.parse_unary())
+        if token == "F":
+            self.next()
+            return Finally(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Formula:
+        token = self.next()
+        if token == "(":
+            inner = self.parse_formula()
+            self.expect(")")
+            return inner
+        if token == "true":
+            return LTrue()
+        if token == "false":
+            return LFalse()
+        if token in _RESERVED or not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", token):
+            raise LTLParseError(f"unexpected token {token!r}")
+        return Prop(token)
+
+
+def parse_ltl(text: str) -> Formula:
+    """Parse an LTL formula from its textual representation.
+
+    >>> parse_ltl("G (p -> F q)")
+    Globally(operand=Implies(left=Prop(name='p'), right=Finally(operand=Prop(name='q'))))
+    """
+    parser = _Parser(_tokenize(text))
+    formula = parser.parse_formula()
+    if parser.peek() is not None:
+        raise LTLParseError(f"trailing input starting at {parser.peek()!r}")
+    return formula

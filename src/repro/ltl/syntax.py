@@ -1,0 +1,316 @@
+"""LTL abstract syntax.
+
+Formulas are built from propositions with the boolean connectives and the
+temporal operators X (next), U (until), R (release), G (always) and
+F (eventually).  Formulas are immutable and hashable; :meth:`Formula.nnf`
+pushes negations to the propositions and rewrites G/F/implication into the
+core operators used by the Büchi construction (X, U, R).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Set
+
+
+class Formula:
+    """Base class of LTL formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        """``p >> q`` is implication ``p -> q``."""
+        return Implies(self, other)
+
+    # -- queries -------------------------------------------------------------
+
+    def propositions(self) -> Set[str]:
+        """Names of all propositions occurring in the formula."""
+        raise NotImplementedError
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        """Negation normal form over the core operators (literals, ∧, ∨, X, U, R)."""
+        raise NotImplementedError
+
+    def negated(self) -> "Formula":
+        """The NNF of the negation of this formula."""
+        return self.nnf(negate=True)
+
+    def subformulas(self) -> List["Formula"]:
+        """All subformulas (including the formula itself), without duplicates."""
+        seen: List[Formula] = []
+
+        def walk(f: Formula) -> None:
+            if f not in seen:
+                seen.append(f)
+                for child in f._children():
+                    walk(child)
+
+        walk(self)
+        return seen
+
+    def _children(self) -> Iterable["Formula"]:
+        return ()
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LTrue(Formula):
+    """The formula ``true``."""
+
+    def propositions(self) -> Set[str]:
+        return set()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        return LFalse() if negate else self
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class LFalse(Formula):
+    """The formula ``false``."""
+
+    def propositions(self) -> Set[str]:
+        return set()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        return LTrue() if negate else self
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """An atomic proposition, identified by name."""
+
+    name: str
+
+    def propositions(self) -> Set[str]:
+        return {self.name}
+
+    def nnf(self, negate: bool = False) -> Formula:
+        return Not(self) if negate else self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation.  In NNF, negation only wraps propositions."""
+
+    operand: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.operand.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        return self.operand.nnf(not negate)
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        if negate:
+            return Or(self.left.nnf(True), self.right.nnf(True))
+        return And(self.left.nnf(False), self.right.nnf(False))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        if negate:
+            return And(self.left.nnf(True), self.right.nnf(True))
+        return Or(self.left.nnf(False), self.right.nnf(False))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication; rewritten as ``!left | right`` during NNF conversion."""
+
+    left: Formula
+    right: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        if negate:
+            return And(self.left.nnf(False), self.right.nnf(True))
+        return Or(self.left.nnf(True), self.right.nnf(False))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """The next-time operator ``X f``."""
+
+    operand: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.operand.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        return Next(self.operand.nnf(negate))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"X({self.operand})"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """The until operator ``left U right``."""
+
+    left: Formula
+    right: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        if negate:
+            return Release(self.left.nnf(True), self.right.nnf(True))
+        return Until(self.left.nnf(False), self.right.nnf(False))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class Release(Formula):
+    """The release operator ``left R right`` (dual of until)."""
+
+    left: Formula
+    right: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.left.propositions() | self.right.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        if negate:
+            return Until(self.left.nnf(True), self.right.nnf(True))
+        return Release(self.left.nnf(False), self.right.nnf(False))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} R {self.right})"
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    """``G f`` = ``false R f``."""
+
+    operand: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.operand.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        if negate:
+            return Until(LTrue(), self.operand.nnf(True))
+        return Release(LFalse(), self.operand.nnf(False))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"G({self.operand})"
+
+
+@dataclass(frozen=True)
+class Finally(Formula):
+    """``F f`` = ``true U f``."""
+
+    operand: Formula
+
+    def propositions(self) -> Set[str]:
+        return self.operand.propositions()
+
+    def nnf(self, negate: bool = False) -> Formula:
+        if negate:
+            return Release(LFalse(), self.operand.nnf(True))
+        return Until(LTrue(), self.operand.nnf(False))
+
+    def _children(self) -> Iterable[Formula]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"F({self.operand})"
+
+
+# -- convenience constructors ---------------------------------------------------
+
+
+def G(operand: Formula) -> Formula:
+    """``G f`` (always f)."""
+    return Globally(operand)
+
+
+def F(operand: Formula) -> Formula:
+    """``F f`` (eventually f)."""
+    return Finally(operand)
+
+
+def X(operand: Formula) -> Formula:
+    """``X f`` (next f)."""
+    return Next(operand)
+
+
+def U(left: Formula, right: Formula) -> Formula:
+    """``left U right`` (until)."""
+    return Until(left, right)

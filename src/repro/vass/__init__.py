@@ -1,0 +1,27 @@
+"""Vector Addition Systems with States (VASS).
+
+The theory behind VERIFAS reduces verification of HAS* specifications to
+(repeated) state reachability in a VASS whose states are symbolic
+representations of the artifact tuple and whose counters track how many
+stored tuples share each representation.  This subpackage provides a plain,
+general-purpose VASS implementation together with a reference Karp–Miller
+coverability procedure.  The verifier's specialised search
+(:mod:`repro.core.karp_miller`) operates directly on partial symbolic
+instances but follows the same algorithmic skeleton; the generic
+implementation here is used for documentation, for unit tests of the
+acceleration/coverage machinery, and as a differential baseline.
+"""
+
+from repro.vass.vass import OMEGA, Transition, VASS, add_omega, leq_omega
+from repro.vass.coverability import KarpMillerTree, coverability_set, is_coverable
+
+__all__ = [
+    "VASS",
+    "Transition",
+    "OMEGA",
+    "add_omega",
+    "leq_omega",
+    "KarpMillerTree",
+    "coverability_set",
+    "is_coverable",
+]

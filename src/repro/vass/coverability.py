@@ -1,0 +1,96 @@
+"""The classic Karp–Miller coverability construction for plain VASS.
+
+This is the textbook algorithm (Algorithm 1 of the paper, specialised to an
+explicit VASS): explore configurations, accelerate counters to ω whenever a
+strictly dominated ancestor with the same state is found, and prune
+configurations covered by an already-visited one.  The result over-approximates
+the reachable configuration set but is exact for coverability queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.vass.vass import OMEGA, Transition, VASS, Vector, add_omega, leq_omega, vector_leq
+
+
+@dataclass
+class KMNode:
+    """A node of the Karp–Miller tree."""
+
+    state: str
+    vector: Vector
+    parent: Optional[int]
+    node_id: int
+    children: List[int] = field(default_factory=list)
+
+
+class KarpMillerTree:
+    """The Karp–Miller tree of a VASS (bounded by *max_nodes* as a safety net)."""
+
+    def __init__(self, vass: VASS, max_nodes: int = 100_000):
+        self.vass = vass
+        self.nodes: List[KMNode] = []
+        self._build(max_nodes)
+
+    # -- construction ------------------------------------------------------------
+
+    def _build(self, max_nodes: int) -> None:
+        root = KMNode(self.vass.initial_state, self.vass.initial_vector, None, 0)
+        self.nodes.append(root)
+        work = [0]
+        while work:
+            node_id = work.pop()
+            node = self.nodes[node_id]
+            for target, vector, _transition in self.vass.successors(node.state, node.vector):
+                accelerated = self._accelerate(node_id, target, vector)
+                if self._covered_by_existing(target, accelerated):
+                    continue
+                child = KMNode(target, accelerated, node_id, len(self.nodes))
+                self.nodes.append(child)
+                node.children.append(child.node_id)
+                work.append(child.node_id)
+                if len(self.nodes) >= max_nodes:
+                    raise RuntimeError("Karp-Miller tree exceeded the node budget")
+
+    def _ancestors(self, node_id: int):
+        current = self.nodes[node_id]
+        while current is not None:
+            yield current
+            current = self.nodes[current.parent] if current.parent is not None else None
+
+    def _accelerate(self, parent_id: int, state: str, vector: Vector) -> Vector:
+        accelerated = list(vector)
+        for ancestor in self._ancestors(parent_id):
+            if ancestor.state != state:
+                continue
+            if vector_leq(ancestor.vector, tuple(accelerated)) and ancestor.vector != tuple(accelerated):
+                for index in range(len(accelerated)):
+                    if not leq_omega(accelerated[index], ancestor.vector[index]):
+                        accelerated[index] = OMEGA
+        return tuple(accelerated)
+
+    def _covered_by_existing(self, state: str, vector: Vector) -> bool:
+        return any(
+            node.state == state and vector_leq(vector, node.vector) for node in self.nodes
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def configurations(self) -> List[Tuple[str, Vector]]:
+        return [(node.state, node.vector) for node in self.nodes]
+
+
+def coverability_set(vass: VASS, max_nodes: int = 100_000) -> List[Tuple[str, Vector]]:
+    """A coverability set of the VASS (the configurations of its Karp–Miller tree)."""
+    return KarpMillerTree(vass, max_nodes).configurations()
+
+
+def is_coverable(vass: VASS, state: str, vector: Sequence[int], max_nodes: int = 100_000) -> bool:
+    """Whether some reachable configuration covers ``(state, vector)``."""
+    target = tuple(vector)
+    for covered_state, covered_vector in coverability_set(vass, max_nodes):
+        if covered_state == state and vector_leq(target, covered_vector):
+            return True
+    return False

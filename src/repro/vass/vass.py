@@ -1,0 +1,115 @@
+"""A plain Vector Addition System with States (VASS).
+
+A VASS is a finite automaton whose transitions additionally add an integer
+vector to a tuple of non-negative counters; a transition is enabled only when
+the resulting counters remain non-negative.  Counters may take the value ω
+("arbitrarily large") inside the Karp–Miller construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class _Omega:
+    """The ordinal ω: larger than every natural number, absorbing under ±."""
+
+    _instance: Optional["_Omega"] = None
+
+    def __new__(cls) -> "_Omega":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ω"
+
+
+#: Singleton ω value used in accelerated counter vectors.
+OMEGA = _Omega()
+
+Counter = object  # int or OMEGA
+Vector = Tuple[Counter, ...]
+
+
+def leq_omega(left: Counter, right: Counter) -> bool:
+    """Comparison ``left <= right`` extended to ω."""
+    if right is OMEGA:
+        return True
+    if left is OMEGA:
+        return False
+    return left <= right
+
+
+def add_omega(value: Counter, delta: int) -> Counter:
+    """Addition extended to ω (ω ± n = ω)."""
+    if value is OMEGA:
+        return OMEGA
+    return value + delta
+
+
+def vector_leq(left: Vector, right: Vector) -> bool:
+    """Pointwise comparison of counter vectors."""
+    return all(leq_omega(l, r) for l, r in zip(left, right))
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A VASS transition: move from *source* to *target*, adding *delta* to the counters."""
+
+    source: str
+    delta: Tuple[int, ...]
+    target: str
+
+
+class VASS:
+    """A Vector Addition System with States."""
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        dimension: int,
+        transitions: Iterable[Transition],
+        initial_state: str,
+        initial_vector: Sequence[int],
+    ):
+        self.states = tuple(states)
+        self.dimension = dimension
+        self.transitions = tuple(transitions)
+        self.initial_state = initial_state
+        self.initial_vector: Vector = tuple(initial_vector)
+        if initial_state not in self.states:
+            raise ValueError(f"initial state {initial_state!r} is not a state")
+        if len(self.initial_vector) != dimension:
+            raise ValueError("initial vector has the wrong dimension")
+        for transition in self.transitions:
+            if len(transition.delta) != dimension:
+                raise ValueError(f"transition {transition} has the wrong dimension")
+            if transition.source not in self.states or transition.target not in self.states:
+                raise ValueError(f"transition {transition} refers to unknown states")
+        self._outgoing: Dict[str, List[Transition]] = {s: [] for s in self.states}
+        for transition in self.transitions:
+            self._outgoing[transition.source].append(transition)
+
+    def outgoing(self, state: str) -> Tuple[Transition, ...]:
+        return tuple(self._outgoing[state])
+
+    def fire(self, state: str, vector: Vector, transition: Transition) -> Optional[Tuple[str, Vector]]:
+        """Apply *transition* if enabled; return the successor configuration or ``None``."""
+        if transition.source != state:
+            return None
+        new_vector = tuple(add_omega(v, d) for v, d in zip(vector, transition.delta))
+        for value in new_vector:
+            if value is not OMEGA and value < 0:
+                return None
+        return transition.target, new_vector
+
+    def successors(self, state: str, vector: Vector) -> List[Tuple[str, Vector, Transition]]:
+        """All enabled successor configurations of ``(state, vector)``."""
+        result = []
+        for transition in self._outgoing[state]:
+            fired = self.fire(state, vector, transition)
+            if fired is not None:
+                result.append((fired[0], fired[1], transition))
+        return result

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installing the package.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.has.builder import ArtifactSystemBuilder
+from repro.has.conditions import And, Const, Eq, Neq, NULL, Var
+from repro.has.schema import DatabaseSchema
+
+
+@pytest.fixture
+def items_schema() -> DatabaseSchema:
+    """A one-relation schema used by many unit tests."""
+    return DatabaseSchema.from_dict({"ITEMS": {"price": None, "category": None}})
+
+
+@pytest.fixture
+def navigation_schema() -> DatabaseSchema:
+    """A two-relation schema with a foreign key, for navigation-expression tests."""
+    return DatabaseSchema.from_dict(
+        {
+            "CUSTOMERS": {"name": None, "record": "CREDIT_RECORD"},
+            "CREDIT_RECORD": {"status": None},
+        }
+    )
+
+
+@pytest.fixture
+def tiny_system(items_schema: DatabaseSchema):
+    """A single-task system with an infinite pick/ship/reset loop."""
+    builder = ArtifactSystemBuilder("tiny", items_schema)
+    task = builder.task("Main")
+    task.id_variable("item", "ITEMS")
+    task.variable("status")
+    task.internal_service(
+        "pick",
+        pre=Eq(Var("status"), NULL),
+        post=And(Neq(Var("item"), NULL), Eq(Var("status"), Const("picked"))),
+    )
+    task.internal_service(
+        "ship",
+        pre=Eq(Var("status"), Const("picked")),
+        post=Eq(Var("status"), Const("shipped")),
+    )
+    task.internal_service(
+        "reset",
+        pre=Eq(Var("status"), Const("shipped")),
+        post=And(Eq(Var("status"), NULL), Eq(Var("item"), NULL)),
+    )
+    return builder.build()
+
+
+@pytest.fixture
+def relation_system(items_schema: DatabaseSchema):
+    """A single-task system exercising artifact-relation insert / retrieve."""
+    builder = ArtifactSystemBuilder("with-relation", items_schema)
+    task = builder.task("Main")
+    task.id_variable("item", "ITEMS")
+    task.variable("status")
+    task.artifact_relation("POOL", ["item", "status"])
+    task.internal_service(
+        "create",
+        pre=Eq(Var("item"), NULL),
+        post=And(Neq(Var("item"), NULL), Eq(Var("status"), Const("new"))),
+    )
+    task.internal_service(
+        "stash",
+        pre=Neq(Var("item"), NULL),
+        post=Eq(Var("item"), NULL),
+        insert=("POOL", ["item", "status"]),
+    )
+    task.internal_service(
+        "grab",
+        pre=Eq(Var("item"), NULL),
+        retrieve=("POOL", ["item", "status"]),
+    )
+    task.internal_service(
+        "finish",
+        pre=Eq(Var("status"), Const("new")),
+        post=Eq(Var("status"), Const("done")),
+        propagated=["item"],
+    )
+    return builder.build()

@@ -1,0 +1,112 @@
+"""Unit tests for condition flattening and symbolic condition evaluation."""
+
+import pytest
+
+from repro.core.expressions import ConstExpr, ExpressionUniverse, NavExpr
+from repro.core.flatten import FlattenError, evaluate_condition, flatten_condition
+from repro.core.isotypes import EQ, NEQ, empty_type
+from repro.has.conditions import And, Const, Eq, FalseCond, Neq, Not, NULL, Or, RelationAtom, TrueCond, Var
+from repro.has.types import IdType, VALUE
+
+
+@pytest.fixture
+def universe(navigation_schema):
+    return ExpressionUniverse(
+        navigation_schema,
+        {"cust": IdType("CUSTOMERS"), "rec": IdType("CREDIT_RECORD"), "v": VALUE, "w": VALUE},
+    )
+
+
+class TestFlatten:
+    def test_equality_literal(self, universe, navigation_schema):
+        conjunctions = flatten_condition(Eq(Var("v"), Var("w")), universe, navigation_schema)
+        assert conjunctions == [[(NavExpr("v"), NavExpr("w"), EQ)]]
+
+    def test_inequality_literal(self, universe, navigation_schema):
+        conjunctions = flatten_condition(Neq(Var("v"), NULL), universe, navigation_schema)
+        assert conjunctions == [[(NavExpr("v"), ConstExpr(None), NEQ)]]
+
+    def test_true_and_false(self, universe, navigation_schema):
+        assert flatten_condition(TrueCond(), universe, navigation_schema) == [[]]
+        assert flatten_condition(FalseCond(), universe, navigation_schema) == []
+
+    def test_positive_atom_requires_non_null_and_navigations(self, universe, navigation_schema):
+        atom = RelationAtom("CREDIT_RECORD", [Var("rec"), Const("Good")])
+        [conjunction] = flatten_condition(atom, universe, navigation_schema)
+        assert (NavExpr("rec"), ConstExpr(None), NEQ) in conjunction
+        assert (NavExpr("rec", ("status",)), ConstExpr("Good"), EQ) in conjunction
+
+    def test_positive_atom_with_variable_argument(self, universe, navigation_schema):
+        atom = RelationAtom("CREDIT_RECORD", [Var("rec"), Var("v")])
+        [conjunction] = flatten_condition(atom, universe, navigation_schema)
+        assert (NavExpr("v"), ConstExpr(None), NEQ) in conjunction
+        assert (NavExpr("rec", ("status",)), NavExpr("v"), EQ) in conjunction
+
+    def test_negative_atom_is_disjunction(self, universe, navigation_schema):
+        condition = Not(RelationAtom("CREDIT_RECORD", [Var("rec"), Var("v")]))
+        conjunctions = flatten_condition(condition, universe, navigation_schema)
+        # rec = null, rec.status != v, v = null
+        assert len(conjunctions) == 3
+
+    def test_disjunction_produces_multiple_conjunctions(self, universe, navigation_schema):
+        condition = Or(Eq(Var("v"), NULL), Eq(Var("w"), NULL))
+        assert len(flatten_condition(condition, universe, navigation_schema)) == 2
+
+    def test_foreign_key_atom(self, universe, navigation_schema):
+        atom = RelationAtom("CUSTOMERS", [Var("cust"), Var("v"), Var("rec")])
+        [conjunction] = flatten_condition(atom, universe, navigation_schema)
+        assert (NavExpr("cust", ("record",)), NavExpr("rec"), EQ) in conjunction
+
+    def test_unknown_variable_rejected(self, universe, navigation_schema):
+        with pytest.raises(FlattenError):
+            flatten_condition(Eq(Var("missing"), NULL), universe, navigation_schema)
+
+    def test_wrong_arity_rejected(self, universe, navigation_schema):
+        atom = RelationAtom("CREDIT_RECORD", [Var("rec")])
+        with pytest.raises(FlattenError):
+            flatten_condition(atom, universe, navigation_schema)
+
+    def test_wrong_id_type_rejected(self, universe, navigation_schema):
+        atom = RelationAtom("CREDIT_RECORD", [Var("cust"), Var("v")])
+        with pytest.raises(FlattenError):
+            flatten_condition(atom, universe, navigation_schema)
+
+    def test_constant_in_id_position_rejected(self, universe, navigation_schema):
+        atom = RelationAtom("CREDIT_RECORD", [Const("r1"), Var("v")])
+        with pytest.raises(FlattenError):
+            flatten_condition(atom, universe, navigation_schema)
+
+
+class TestEvaluate:
+    def test_evaluation_extends_type(self, universe, navigation_schema):
+        tau = empty_type(universe)
+        results = evaluate_condition(tau, Eq(Var("v"), Const("Good")), universe, navigation_schema)
+        assert len(results) == 1
+        assert results[0].same_class(NavExpr("v"), ConstExpr("Good"))
+
+    def test_inconsistent_condition_has_no_extension(self, universe, navigation_schema):
+        tau = empty_type(universe).extend([(NavExpr("v"), ConstExpr("Good"), EQ)])
+        results = evaluate_condition(tau, Eq(Var("v"), Const("Bad")), universe, navigation_schema)
+        assert results == []
+
+    def test_disjunction_gives_multiple_extensions(self, universe, navigation_schema):
+        tau = empty_type(universe)
+        condition = Or(Eq(Var("v"), Const("A")), Eq(Var("v"), Const("B")))
+        assert len(evaluate_condition(tau, condition, universe, navigation_schema)) == 2
+
+    def test_duplicate_extensions_removed(self, universe, navigation_schema):
+        tau = empty_type(universe).extend([(NavExpr("v"), ConstExpr("A"), EQ)])
+        condition = Or(Eq(Var("v"), Const("A")), Eq(Var("v"), Const("A")))
+        assert len(evaluate_condition(tau, condition, universe, navigation_schema)) == 1
+
+    def test_credit_check_scenario(self, universe, navigation_schema):
+        """The paper's Example 9: the customer referenced by cust has good credit."""
+        condition = And(
+            RelationAtom("CUSTOMERS", [Var("cust"), Var("v"), Var("rec")]),
+            RelationAtom("CREDIT_RECORD", [Var("rec"), Const("Good")]),
+        )
+        results = evaluate_condition(empty_type(universe), condition, universe, navigation_schema)
+        assert len(results) == 1
+        extended = results[0]
+        # Navigation chain: cust.record.status = "Good".
+        assert extended.same_class(NavExpr("cust", ("record", "status")), ConstExpr("Good"))

@@ -1,0 +1,144 @@
+"""Unit and property-based tests for the Trie / inverted-list candidate indexes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.indexes import ActiveStateIndex, EdgeInterner, InvertedListIndex, TrieIndex
+
+
+class TestEdgeInterner:
+    def test_stable_ids(self):
+        interner = EdgeInterner()
+        first = interner.intern(("a", "b", "="))
+        second = interner.intern(("a", "b", "="))
+        assert first == second
+        assert len(interner) == 1
+
+    def test_intern_set(self):
+        interner = EdgeInterner()
+        encoded = interner.intern_set([("a",), ("b",), ("a",)])
+        assert len(encoded) == 2
+
+
+class TestInvertedListIndex:
+    def test_subsets_of(self):
+        index = InvertedListIndex()
+        index.add("small", frozenset({1}))
+        index.add("medium", frozenset({1, 2}))
+        index.add("large", frozenset({1, 2, 3}))
+        assert index.subsets_of(frozenset({1, 2})) == {"small", "medium"}
+
+    def test_empty_set_is_subset_of_everything(self):
+        index = InvertedListIndex()
+        index.add("empty", frozenset())
+        assert index.subsets_of(frozenset({5})) == {"empty"}
+        assert index.subsets_of(frozenset()) == {"empty"}
+
+    def test_remove(self):
+        index = InvertedListIndex()
+        index.add("a", frozenset({1, 2}))
+        index.remove("a", frozenset({1, 2}))
+        assert index.subsets_of(frozenset({1, 2, 3})) == set()
+
+
+class TestTrieIndex:
+    def test_supersets_of(self):
+        index = TrieIndex()
+        index.add("small", frozenset({1}))
+        index.add("medium", frozenset({1, 2}))
+        index.add("large", frozenset({1, 2, 3}))
+        assert index.supersets_of(frozenset({1, 2})) == {"medium", "large"}
+
+    def test_empty_query_returns_everything(self):
+        index = TrieIndex()
+        index.add("a", frozenset({1}))
+        index.add("b", frozenset())
+        assert index.supersets_of(frozenset()) == {"a", "b"}
+
+    def test_remove_prunes_branches(self):
+        index = TrieIndex()
+        index.add("a", frozenset({1, 2}))
+        index.add("b", frozenset({1, 3}))
+        index.remove("a", frozenset({1, 2}))
+        assert index.supersets_of(frozenset({1})) == {"b"}
+        index.remove("missing", frozenset({9}))  # removing unknown items is a no-op
+
+    def test_duplicate_edge_sets(self):
+        index = TrieIndex()
+        index.add("a", frozenset({1, 2}))
+        index.add("b", frozenset({1, 2}))
+        assert index.supersets_of(frozenset({1, 2})) == {"a", "b"}
+
+
+class TestActiveStateIndex:
+    def test_candidates(self):
+        index = ActiveStateIndex()
+        index.add("loose", ["e1"])
+        index.add("tight", ["e1", "e2", "e3"])
+        # Items whose edges are a subset of the query: candidates that may cover the query.
+        assert index.candidates_covering(["e1", "e2"]) == {"loose"}
+        # Items whose edges are a superset of the query: candidates the query may cover.
+        assert index.candidates_covered_by(["e1", "e2"]) == {"tight"}
+
+    def test_remove_and_contains(self):
+        index = ActiveStateIndex()
+        index.add(1, ["a"])
+        assert 1 in index
+        index.remove(1)
+        assert 1 not in index
+        assert index.candidates_covering(["a"]) == set()
+        index.remove(1)  # idempotent
+
+    def test_items_and_len(self):
+        index = ActiveStateIndex()
+        index.add("x", ["a"])
+        index.add("y", ["b"])
+        assert set(index.items()) == {"x", "y"}
+        assert len(index) == 2
+
+
+@st.composite
+def _collections(draw):
+    n_items = draw(st.integers(1, 12))
+    items = []
+    for i in range(n_items):
+        items.append((i, frozenset(draw(st.sets(st.integers(0, 8), max_size=6)))))
+    query = frozenset(draw(st.sets(st.integers(0, 8), max_size=6)))
+    return items, query
+
+
+class TestDifferentialAgainstBruteForce:
+    @given(_collections())
+    @settings(max_examples=120, deadline=None)
+    def test_subset_and_superset_queries_match_brute_force(self, data):
+        items, query = data
+        inverted = InvertedListIndex()
+        trie = TrieIndex()
+        for item, elements in items:
+            inverted.add(item, elements)
+            trie.add(item, elements)
+        expected_subsets = {item for item, elements in items if elements <= query}
+        expected_supersets = {item for item, elements in items if elements >= query}
+        assert inverted.subsets_of(query) == expected_subsets
+        assert trie.supersets_of(query) == expected_supersets
+
+    @given(_collections())
+    @settings(max_examples=60, deadline=None)
+    def test_queries_after_random_removals(self, data):
+        items, query = data
+        rng = random.Random(0)
+        inverted = InvertedListIndex()
+        trie = TrieIndex()
+        for item, elements in items:
+            inverted.add(item, elements)
+            trie.add(item, elements)
+        removed = {item for item, _ in items if rng.random() < 0.5}
+        for item, elements in items:
+            if item in removed:
+                inverted.remove(item, elements)
+                trie.remove(item, elements)
+        remaining = [(item, elements) for item, elements in items if item not in removed]
+        assert inverted.subsets_of(query) == {i for i, e in remaining if e <= query}
+        assert trie.supersets_of(query) == {i for i, e in remaining if e >= query}

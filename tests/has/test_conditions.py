@@ -1,0 +1,185 @@
+"""Unit tests for the condition AST: NNF, DNF, evaluation, renaming."""
+
+import pytest
+
+from repro.has.conditions import (
+    And,
+    Const,
+    Eq,
+    FalseCond,
+    Neq,
+    Not,
+    NULL,
+    Or,
+    RelationAtom,
+    TrueCond,
+    Var,
+    as_term,
+    conjunction,
+    disjunction,
+)
+from repro.has.database import Database
+from repro.has.schema import DatabaseSchema
+
+
+@pytest.fixture
+def db(navigation_schema):
+    return Database(
+        navigation_schema,
+        {
+            "CREDIT_RECORD": [("r1", "Good"), ("r2", "Bad")],
+            "CUSTOMERS": [("c1", "Ann", "r1"), ("c2", "Bob", "r2")],
+        },
+    )
+
+
+class TestTerms:
+    def test_as_term_variable(self):
+        assert as_term("x") == Var("x")
+
+    def test_as_term_quoted_string_is_constant(self):
+        assert as_term('"Good"') == Const("Good")
+
+    def test_as_term_none_is_null(self):
+        assert as_term(None) is NULL
+
+    def test_as_term_number(self):
+        assert as_term(7) == Const(7)
+
+    def test_as_term_passthrough(self):
+        assert as_term(Var("x")) == Var("x")
+
+    def test_as_term_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            as_term(object())
+
+    def test_null_is_marked(self):
+        assert NULL.is_null
+        assert not Const("x").is_null
+
+
+class TestStructure:
+    def test_variables_collects_all(self):
+        condition = And(Eq(Var("x"), Var("y")), Neq(Var("z"), Const("c")))
+        assert condition.variables() == {"x", "y", "z"}
+
+    def test_constants_collects_all(self):
+        condition = Or(Eq(Var("x"), Const("a")), Eq(Var("y"), NULL))
+        assert condition.constants() == {Const("a"), NULL}
+
+    def test_atoms_are_flattened(self):
+        condition = And(Eq(Var("x"), Var("y")), Not(Neq(Var("z"), NULL)))
+        assert len(condition.atoms()) == 2
+
+    def test_rename(self):
+        condition = And(Eq(Var("x"), Var("y")), RelationAtom("R", [Var("x"), Var("z")]))
+        renamed = condition.rename({"x": "x2"})
+        assert renamed.variables() == {"x2", "y", "z"}
+
+    def test_substitute_with_constant(self):
+        condition = Eq(Var("x"), Var("y"))
+        substituted = condition.substitute({"y": Const("v")})
+        assert substituted == Eq(Var("x"), Const("v"))
+
+    def test_operator_overloads(self):
+        condition = Eq(Var("x"), NULL) & ~Neq(Var("y"), NULL) | TrueCond()
+        assert isinstance(condition, Or)
+
+
+class TestNNF:
+    def test_negated_equality(self):
+        assert Not(Eq(Var("x"), Var("y"))).nnf() == Neq(Var("x"), Var("y"))
+
+    def test_double_negation(self):
+        assert Not(Not(Eq(Var("x"), NULL))).nnf() == Eq(Var("x"), NULL)
+
+    def test_de_morgan_and(self):
+        condition = Not(And(Eq(Var("x"), NULL), Neq(Var("y"), NULL)))
+        assert condition.nnf() == Or(Neq(Var("x"), NULL), Eq(Var("y"), NULL))
+
+    def test_de_morgan_or(self):
+        condition = Not(Or(Eq(Var("x"), NULL), Eq(Var("y"), NULL)))
+        assert condition.nnf() == And(Neq(Var("x"), NULL), Neq(Var("y"), NULL))
+
+    def test_negated_relation_atom_stays_wrapped(self):
+        atom = RelationAtom("R", [Var("x"), Var("y")])
+        assert Not(atom).nnf() == Not(atom)
+
+    def test_true_false_negation(self):
+        assert TrueCond().nnf(negate=True) == FalseCond()
+        assert FalseCond().nnf(negate=True) == TrueCond()
+
+
+class TestDNF:
+    def test_dnf_of_disjunction(self):
+        condition = Or(Eq(Var("x"), NULL), Eq(Var("y"), NULL))
+        assert len(condition.dnf()) == 2
+
+    def test_dnf_distributes(self):
+        condition = And(
+            Or(Eq(Var("x"), NULL), Eq(Var("y"), NULL)),
+            Or(Eq(Var("z"), NULL), Eq(Var("w"), NULL)),
+        )
+        assert len(condition.dnf()) == 4
+
+    def test_dnf_of_false_is_empty(self):
+        assert FalseCond().dnf() == []
+
+    def test_dnf_of_true_is_single_empty_conjunct(self):
+        assert TrueCond().dnf() == [()]
+
+    def test_dnf_conjunct_sizes(self):
+        condition = And(Eq(Var("x"), NULL), Or(Eq(Var("y"), NULL), Neq(Var("z"), NULL)))
+        conjuncts = condition.dnf()
+        assert sorted(len(c) for c in conjuncts) == [2, 2]
+
+
+class TestEvaluation:
+    def test_equality(self, db):
+        assert Eq(Var("x"), Const("a")).evaluate({"x": "a"}, db)
+        assert not Eq(Var("x"), Const("a")).evaluate({"x": "b"}, db)
+
+    def test_null_equality(self, db):
+        assert Eq(Var("x"), NULL).evaluate({"x": None}, db)
+
+    def test_relation_atom_true(self, db):
+        atom = RelationAtom("CUSTOMERS", [Var("c"), Var("n"), Var("r")])
+        assert atom.evaluate({"c": "c1", "n": "Ann", "r": "r1"}, db)
+
+    def test_relation_atom_false_on_mismatch(self, db):
+        atom = RelationAtom("CUSTOMERS", [Var("c"), Var("n"), Var("r")])
+        assert not atom.evaluate({"c": "c1", "n": "Ann", "r": "r2"}, db)
+
+    def test_relation_atom_false_on_null(self, db):
+        atom = RelationAtom("CREDIT_RECORD", [Var("r"), Const("Good")])
+        assert not atom.evaluate({"r": None}, db)
+
+    def test_boolean_combination(self, db):
+        condition = And(Eq(Var("x"), Const("a")), Not(Eq(Var("y"), Const("b"))))
+        assert condition.evaluate({"x": "a", "y": "c"}, db)
+        assert not condition.evaluate({"x": "a", "y": "b"}, db)
+
+    def test_unbound_variable_raises(self, db):
+        with pytest.raises(KeyError):
+            Eq(Var("missing"), NULL).evaluate({}, db)
+
+
+class TestHelpers:
+    def test_conjunction_of_nothing_is_true(self):
+        assert conjunction([]) == TrueCond()
+
+    def test_disjunction_of_nothing_is_false(self):
+        assert disjunction([]) == FalseCond()
+
+    def test_conjunction_builds_nested_and(self):
+        result = conjunction([Eq(Var("x"), NULL), Eq(Var("y"), NULL), Eq(Var("z"), NULL)])
+        assert result.variables() == {"x", "y", "z"}
+
+    def test_relation_atom_requires_args(self):
+        with pytest.raises(ValueError):
+            RelationAtom("R", [])
+
+    def test_str_renderings(self):
+        assert str(Eq(Var("x"), Const("a"))) == 'x = "a"'
+        assert str(Neq(Var("x"), NULL)) == "x != null"
+        assert "R(x, y)" in str(RelationAtom("R", [Var("x"), Var("y")]))

@@ -1,0 +1,107 @@
+"""Tests for concrete databases, instances and the concrete transition engine."""
+
+import pytest
+
+from repro.has.database import Database, DatabaseError
+from repro.has.instance import TransitionEngine, initial_instance
+from repro.has.schema import DatabaseSchema
+
+
+@pytest.fixture
+def db(navigation_schema):
+    return Database(
+        navigation_schema,
+        {
+            "CREDIT_RECORD": [("r1", "Good"), ("r2", "Bad")],
+            "CUSTOMERS": [("c1", "Ann", "r1"), ("c2", "Bob", "r2")],
+        },
+    )
+
+
+class TestDatabase:
+    def test_lookup_and_contains(self, db):
+        assert db.lookup("CUSTOMERS", "c1") == ("c1", "Ann", "r1")
+        assert db.contains_tuple("CUSTOMERS", ("c1", "Ann", "r1"))
+        assert not db.contains_tuple("CUSTOMERS", ("c1", "Ann", "r2"))
+        assert db.lookup("CUSTOMERS", "zzz") is None
+
+    def test_attribute_navigation(self, db):
+        assert db.attribute_of("CUSTOMERS", "c1", "record") == "r1"
+        assert db.attribute_of("CREDIT_RECORD", "r1", "status") == "Good"
+        assert db.attribute_of("CREDIT_RECORD", "missing", "status") is None
+
+    def test_key_violation_rejected(self, navigation_schema):
+        with pytest.raises(DatabaseError):
+            Database(
+                navigation_schema,
+                {"CREDIT_RECORD": [("r1", "Good"), ("r1", "Bad")]},
+            )
+
+    def test_duplicate_identical_tuple_allowed(self, navigation_schema):
+        database = Database(
+            navigation_schema, {"CREDIT_RECORD": [("r1", "Good"), ("r1", "Good")]}
+        )
+        assert len(database) == 1
+
+    def test_foreign_key_violation_rejected(self, navigation_schema):
+        with pytest.raises(DatabaseError):
+            Database(navigation_schema, {"CUSTOMERS": [("c1", "Ann", "missing")]})
+
+    def test_null_id_rejected(self, navigation_schema):
+        with pytest.raises(DatabaseError):
+            Database(navigation_schema, {"CREDIT_RECORD": [(None, "Good")]})
+
+    def test_arity_mismatch_rejected(self, navigation_schema):
+        with pytest.raises(DatabaseError):
+            Database(navigation_schema, {"CREDIT_RECORD": [("r1",)]})
+
+    def test_active_domain_and_typed_values(self, db):
+        domain = db.active_domain()
+        assert {"c1", "r1", "Ann", "Good"} <= domain
+        assert set(db.ids("CUSTOMERS")) == {"c1", "c2"}
+        assert "Good" in db.values_of_type(None)
+        assert set(db.values_of_type("CREDIT_RECORD")) == {"r1", "r2"}
+
+
+class TestTransitionEngine:
+    def test_initial_instance(self, tiny_system, items_schema):
+        instance = initial_instance(tiny_system)
+        assert instance.is_active("Main")
+        assert instance.valuation("Main") == {"item": None, "status": None}
+
+    def test_internal_successors_respect_pre_and_post(self, tiny_system, items_schema):
+        database = Database(items_schema, {"ITEMS": [("i1", 5, "tools"), ("i2", 9, "toys")]})
+        engine = TransitionEngine(tiny_system, database)
+        instance = initial_instance(tiny_system)
+        pick = tiny_system.internal_services("Main")[0]
+        successors = engine.internal_successors(instance, pick)
+        assert successors
+        for successor in successors:
+            valuation = successor.valuation("Main")
+            assert valuation["status"] == "picked"
+            assert valuation["item"] in {"i1", "i2"}
+
+    def test_inapplicable_service_has_no_successors(self, tiny_system, items_schema):
+        database = Database(items_schema, {"ITEMS": [("i1", 5, "tools")]})
+        engine = TransitionEngine(tiny_system, database)
+        instance = initial_instance(tiny_system)
+        ship = tiny_system.internal_services("Main")[1]
+        assert engine.internal_successors(instance, ship) == []
+
+    def test_insert_and_retrieve_roundtrip(self, relation_system, items_schema):
+        database = Database(items_schema, {"ITEMS": [("i1", 5, "tools")]})
+        engine = TransitionEngine(relation_system, database)
+        instance = initial_instance(relation_system)
+        create, stash, grab, _finish = relation_system.internal_services("Main")
+        [created] = [
+            s for s in engine.internal_successors(instance, create)
+            if s.valuation("Main")["item"] == "i1"
+        ]
+        stashed = engine.internal_successors(created, stash)
+        assert stashed
+        stored = stashed[0].relation_contents("Main", "POOL")
+        assert stored == (("i1", "new"),)
+        grabbed = engine.internal_successors(stashed[0], grab)
+        assert grabbed
+        assert grabbed[0].valuation("Main")["item"] == "i1"
+        assert grabbed[0].relation_contents("Main", "POOL") == ()

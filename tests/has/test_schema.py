@@ -1,0 +1,119 @@
+"""Unit tests for database schemas (keys, foreign keys, acyclicity)."""
+
+import pytest
+
+from repro.has.schema import (
+    Attribute,
+    DatabaseSchema,
+    Relation,
+    SchemaError,
+    fk_attr,
+    value_attr,
+)
+from repro.has.types import IdType, VALUE
+
+
+class TestAttribute:
+    def test_value_attribute(self):
+        attr = value_attr("price")
+        assert not attr.is_foreign_key
+        assert attr.target is None
+
+    def test_foreign_key_attribute(self):
+        attr = fk_attr("record", "CREDIT_RECORD")
+        assert attr.is_foreign_key
+        assert attr.target == "CREDIT_RECORD"
+
+    def test_foreign_key_requires_target(self):
+        with pytest.raises(SchemaError):
+            Attribute("record", "fk", None)
+
+    def test_value_attribute_rejects_target(self):
+        with pytest.raises(SchemaError):
+            Attribute("price", "value", "ITEMS")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "weird")
+
+
+class TestRelation:
+    def test_arity_counts_implicit_key(self):
+        relation = Relation("ITEMS", (value_attr("price"),))
+        assert relation.arity == 2
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", (value_attr("a"), value_attr("a")))
+
+    def test_explicit_id_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", (value_attr("ID"),))
+
+    def test_attribute_lookup(self):
+        relation = Relation("R", (value_attr("a"), fk_attr("f", "S")))
+        assert relation.attribute("f").is_foreign_key
+        assert relation.has_attribute("a")
+        assert not relation.has_attribute("zzz")
+        with pytest.raises(KeyError):
+            relation.attribute("zzz")
+
+    def test_attribute_partition(self):
+        relation = Relation("R", (value_attr("a"), fk_attr("f", "S"), value_attr("b")))
+        assert [a.name for a in relation.value_attributes] == ["a", "b"]
+        assert [a.name for a in relation.foreign_keys] == ["f"]
+
+
+class TestDatabaseSchema:
+    def test_from_dict_builds_foreign_keys(self, navigation_schema):
+        record = navigation_schema.relation("CUSTOMERS").attribute("record")
+        assert record.is_foreign_key
+        assert record.target == "CREDIT_RECORD"
+
+    def test_attribute_types(self, navigation_schema):
+        assert navigation_schema.attribute_type("CUSTOMERS", "name") == VALUE
+        assert navigation_schema.attribute_type("CUSTOMERS", "record") == IdType("CREDIT_RECORD")
+
+    def test_dangling_foreign_key_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([Relation("R", (fk_attr("f", "MISSING"),))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            DatabaseSchema(
+                [
+                    Relation("A", (fk_attr("to_b", "B"),)),
+                    Relation("B", (fk_attr("to_a", "A"),)),
+                ]
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            DatabaseSchema([Relation("A", (fk_attr("self", "A"),))])
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([Relation("A", ()), Relation("A", ())])
+
+    def test_navigation_depth(self, navigation_schema):
+        assert navigation_schema.navigation_depth() == 1
+
+    def test_navigation_depth_chain(self):
+        schema = DatabaseSchema.from_dict(
+            {"A": {"to_b": "B"}, "B": {"to_c": "C"}, "C": {"x": None}}
+        )
+        assert schema.navigation_depth() == 2
+
+    def test_contains_and_len(self, navigation_schema):
+        assert "CUSTOMERS" in navigation_schema
+        assert "NOPE" not in navigation_schema
+        assert len(navigation_schema) == 2
+
+    def test_unknown_relation_lookup(self, navigation_schema):
+        with pytest.raises(KeyError):
+            navigation_schema.relation("NOPE")
+
+    def test_describe_lists_all_relations(self, navigation_schema):
+        text = navigation_schema.describe()
+        assert "CUSTOMERS(ID, name, record -> CREDIT_RECORD)" in text
+        assert "CREDIT_RECORD(ID, status)" in text

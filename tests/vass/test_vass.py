@@ -1,0 +1,129 @@
+"""Tests for the plain VASS model and the reference Karp–Miller coverability procedure."""
+
+import pytest
+
+from repro.vass import (
+    OMEGA,
+    Transition,
+    VASS,
+    add_omega,
+    coverability_set,
+    is_coverable,
+    leq_omega,
+)
+from repro.vass.vass import vector_leq
+
+
+class TestOmegaArithmetic:
+    def test_leq(self):
+        assert leq_omega(3, OMEGA)
+        assert not leq_omega(OMEGA, 3)
+        assert leq_omega(OMEGA, OMEGA)
+        assert leq_omega(2, 2)
+
+    def test_add(self):
+        assert add_omega(OMEGA, 5) is OMEGA
+        assert add_omega(2, -1) == 1
+
+    def test_vector_leq(self):
+        assert vector_leq((1, 2), (1, OMEGA))
+        assert not vector_leq((OMEGA, 0), (3, 0))
+
+
+class TestVASSBasics:
+    def simple(self):
+        return VASS(
+            states=["p", "q"],
+            dimension=1,
+            transitions=[
+                Transition("p", (1,), "p"),     # produce a token
+                Transition("p", (0,), "q"),     # move to q
+                Transition("q", (-1,), "q"),    # consume a token
+            ],
+            initial_state="p",
+            initial_vector=[0],
+        )
+
+    def test_fire_respects_non_negativity(self):
+        vass = self.simple()
+        consume = vass.transitions[2]
+        assert vass.fire("q", (0,), consume) is None
+        assert vass.fire("q", (2,), consume) == ("q", (1,))
+
+    def test_successors(self):
+        vass = self.simple()
+        successors = vass.successors("p", (0,))
+        assert {target for target, _v, _t in successors} == {"p", "q"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VASS(["p"], 1, [Transition("p", (1, 1), "p")], "p", [0])
+        with pytest.raises(ValueError):
+            VASS(["p"], 1, [], "ghost", [0])
+        with pytest.raises(ValueError):
+            VASS(["p"], 1, [], "p", [0, 0])
+
+
+class TestCoverability:
+    def test_unbounded_counter_is_accelerated(self):
+        vass = VASS(
+            ["p"], 1, [Transition("p", (1,), "p")], "p", [0]
+        )
+        configurations = coverability_set(vass)
+        assert any(vector[0] is OMEGA for _state, vector in configurations)
+
+    def test_coverable_targets(self):
+        vass = VASS(
+            ["p", "q"],
+            1,
+            [Transition("p", (1,), "p"), Transition("p", (0,), "q")],
+            "p",
+            [0],
+        )
+        assert is_coverable(vass, "q", [5])
+        assert is_coverable(vass, "p", [100])
+
+    def test_uncoverable_target(self):
+        vass = VASS(
+            ["p", "q"],
+            1,
+            [Transition("p", (0,), "q")],
+            "p",
+            [0],
+        )
+        assert not is_coverable(vass, "q", [1])
+        assert is_coverable(vass, "q", [0])
+
+    def test_bounded_counter_not_accelerated(self):
+        # The counter can only ever reach exactly 1.
+        vass = VASS(
+            ["p", "q"],
+            1,
+            [Transition("p", (1,), "q")],
+            "p",
+            [0],
+        )
+        assert not is_coverable(vass, "q", [2])
+
+    def test_two_counter_transfer(self):
+        # Counter 0 is pumped, then transferred to counter 1 one at a time.
+        vass = VASS(
+            ["p", "q"],
+            2,
+            [
+                Transition("p", (1, 0), "p"),
+                Transition("p", (0, 0), "q"),
+                Transition("q", (-1, 1), "q"),
+            ],
+            "p",
+            [0, 0],
+        )
+        assert is_coverable(vass, "q", [0, 3])
+        assert not is_coverable(vass, "p", [0, 1])
+
+    def test_node_budget_guard(self):
+        vass = VASS(
+            ["p"], 1, [Transition("p", (1,), "p")], "p", [0]
+        )
+        with pytest.raises(RuntimeError):
+            coverability_set(vass, max_nodes=1)
