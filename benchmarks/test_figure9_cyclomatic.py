@@ -7,6 +7,10 @@ verify, and specifications within the software-engineering recommendation
 (complexity <= 15) verify quickly.
 """
 
+import pytest
+
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
+
 from conftest import print_table
 
 from repro.benchmark.runner import BenchmarkRunner

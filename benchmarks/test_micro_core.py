@@ -8,6 +8,8 @@ regressions in the core data structures are visible.
 
 import pytest
 
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
+
 from repro import Verifier, VerifierOptions
 from repro.benchmark.realworld import order_fulfillment
 from repro.core.coverage import covers_preceq

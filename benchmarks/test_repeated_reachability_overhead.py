@@ -8,6 +8,8 @@ comparison: full verifier vs reachability-only verifier.
 """
 
 import pytest
+
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
 from conftest import print_table
 
 from repro.benchmark.runner import BenchmarkRunner

@@ -6,6 +6,10 @@ variables and services.  This benchmark rebuilds both suites and prints the
 same row structure.
 """
 
+import pytest
+
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
+
 from conftest import print_table
 
 from repro.benchmark.runner import WorkflowSuite

@@ -8,6 +8,8 @@ artifact-relation support adds only moderate overhead.
 """
 
 import pytest
+
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
 from conftest import print_table
 
 from repro.benchmark.runner import BenchmarkRunner

@@ -7,6 +7,8 @@ by far the largest impact; static analysis (SA) and the index data structures
 """
 
 import pytest
+
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
 from conftest import print_table
 
 from repro.benchmark.runner import BenchmarkRunner

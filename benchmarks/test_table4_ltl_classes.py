@@ -7,6 +7,8 @@ factor of the False baseline.
 """
 
 import pytest
+
+pytestmark = [pytest.mark.benchmark, pytest.mark.slow]
 from conftest import TEMPLATES, print_table
 
 from repro.benchmark.properties import LTL_TEMPLATES

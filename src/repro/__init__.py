@@ -10,6 +10,10 @@ The public API is intentionally small; most users only need:
 * :mod:`repro.has` -- build HAS* artifact-system specifications,
 * :mod:`repro.ltl` -- build LTL-FO properties,
 * :class:`repro.core.Verifier` -- verify a property against a specification,
+* :mod:`repro.spec` -- save / load specifications and properties as versioned
+  spec files (``SCHEMA_VERSION``-stamped JSON or YAML),
+* :mod:`repro.service` -- batch verification with a worker pool and a
+  content-addressed result cache (also behind the ``python -m repro`` CLI),
 * :mod:`repro.benchmark` -- the real / synthetic workflow suites and the
   experiment harness that regenerates the paper's tables and figures.
 """

@@ -1,0 +1,192 @@
+"""The ``python -m repro`` command line: verify, batch, export-spec.
+
+Examples::
+
+    # Export a built-in real-world workflow as a spec file (with 6 generated
+    # LTL-FO properties attached):
+    python -m repro export-spec order-fulfillment -o order.spec.json --with-properties 6
+
+    # Verify one property (or all properties) of a spec file:
+    python -m repro verify order.spec.json --property always
+    python -m repro verify order.spec.json --workers 4
+
+    # Batch-verify several spec files across a worker pool:
+    python -m repro batch specs/*.spec.json --workers 4 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.options import VerifierOptions
+from repro.service import BatchReport, VerificationService, jobs_from_bundle
+from repro.spec import SpecBundle, SpecError, load_spec, save_spec
+
+
+def _add_option_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-property wall-clock timeout (default: none)",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="per-property state budget (default: %s)" % VerifierOptions().max_states,
+    )
+    parser.add_argument(
+        "--no-repeated-reachability", action="store_true",
+        help="reachability-only mode (skip the repeated-reachability phase)",
+    )
+
+
+def _options_from(args: argparse.Namespace) -> VerifierOptions:
+    options = VerifierOptions()
+    if args.timeout is not None:
+        options = options.with_(timeout_seconds=args.timeout)
+    if args.max_states is not None:
+        options = options.with_(max_states=args.max_states)
+    if args.no_repeated_reachability:
+        options = options.with_(check_repeated_reachability=False)
+    return options
+
+
+def _print_report(report: BatchReport, as_json: bool) -> None:
+    if as_json:
+        json.dump(report.as_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
+    for job_result in report.job_results:
+        result = job_result.result
+        source = "cache" if job_result.cache_hit else f"{result.stats.total_seconds:.3f}s"
+        print(
+            f"  {job_result.job.system_name:24s} {job_result.job.property_name:40.40s} "
+            f"{result.outcome.value:10s} [{source}]"
+        )
+        if result.violated and result.counterexample:
+            services = " -> ".join(result.counterexample.services()[:8])
+            print(f"      counterexample: {services}")
+    hits = report.cache_hits
+    outcome_text = ", ".join(f"{k}: {v}" for k, v in sorted(report.outcomes.items()))
+    print(f"  {report.total} job(s), {hits} cache hit(s) -- {outcome_text}")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    bundle = load_spec(args.spec)
+    if not bundle.properties:
+        print(f"error: {args.spec} contains no properties to verify", file=sys.stderr)
+        return 2
+    names: Optional[List[str]] = args.property or None
+    try:
+        jobs = jobs_from_bundle(bundle, options=_options_from(args), property_names=names)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    service = VerificationService()
+    report = BatchReport(service.run_batch(jobs, workers=args.workers))
+    _print_report(report, args.json)
+    return 1 if any(r.result.violated for r in report.job_results) else 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    options = _options_from(args)
+    jobs = []
+    for path in args.specs:
+        bundle = load_spec(path)
+        if not bundle.properties:
+            print(f"warning: {path} contains no properties, skipping", file=sys.stderr)
+            continue
+        jobs.extend(jobs_from_bundle(bundle, options=options))
+    if not jobs:
+        print("error: no verification jobs found in the given spec files", file=sys.stderr)
+        return 2
+    service = VerificationService()
+    report = BatchReport(service.run_batch(jobs, workers=args.workers))
+    _print_report(report, args.json)
+    return 1 if any(r.result.violated for r in report.job_results) else 0
+
+
+def _cmd_export_spec(args: argparse.Namespace) -> int:
+    from repro.benchmark.properties import LTL_TEMPLATES, generate_properties
+    from repro.benchmark.realworld import REAL_WORKFLOW_FACTORIES
+
+    factory = REAL_WORKFLOW_FACTORIES.get(args.workflow)
+    if factory is None:
+        print(
+            f"error: unknown workflow {args.workflow!r}; available: "
+            f"{', '.join(sorted(REAL_WORKFLOW_FACTORIES))}",
+            file=sys.stderr,
+        )
+        return 2
+    system = factory()
+    properties = []
+    if args.with_properties:
+        count = max(1, min(args.with_properties, len(LTL_TEMPLATES)))
+        properties = generate_properties(system, templates=LTL_TEMPLATES[:count])
+    save_spec(system, args.output, properties=properties)
+    print(
+        f"wrote {args.output}: system {system.name!r} "
+        f"({len(system.task_names)} tasks, {len(properties)} properties)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="VERIFAS reproduction: verify LTL-FO properties of artifact systems.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify = subparsers.add_parser(
+        "verify", help="verify properties of one spec file"
+    )
+    verify.add_argument("spec", help="path to a spec file (.json / .yaml)")
+    verify.add_argument(
+        "--property", action="append", metavar="NAME",
+        help="verify only this property (repeatable; default: all)",
+    )
+    verify.add_argument("--workers", type=int, default=1, metavar="N")
+    verify.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_option_flags(verify)
+    verify.set_defaults(handler=_cmd_verify)
+
+    batch = subparsers.add_parser(
+        "batch", help="verify all properties of several spec files on a worker pool"
+    )
+    batch.add_argument("specs", nargs="+", help="spec files (.json / .yaml)")
+    batch.add_argument("--workers", type=int, default=4, metavar="N")
+    batch.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_option_flags(batch)
+    batch.set_defaults(handler=_cmd_batch)
+
+    export = subparsers.add_parser(
+        "export-spec", help="export a built-in real-world workflow as a spec file"
+    )
+    export.add_argument("workflow", help="workflow name, e.g. order-fulfillment")
+    export.add_argument("-o", "--output", required=True, help="output path (.json / .yaml)")
+    export.add_argument(
+        "--with-properties", type=int, default=0, metavar="N",
+        help="attach N generated LTL-FO template properties (default: 0)",
+    )
+    export.set_defaults(handler=_cmd_export_spec)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -54,6 +54,34 @@ class Counterexample:
     def __len__(self) -> int:
         return len(self.steps)
 
+    def as_dict(self) -> dict:
+        """Plain-dict form (used when serializing verification results)."""
+        return {
+            "witness": self.witness,
+            "steps": [
+                {
+                    "service": step.service,
+                    "description": step.description,
+                    "buchi_state": step.buchi_state,
+                }
+                for step in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counterexample":
+        return cls(
+            steps=[
+                CounterexampleStep(
+                    service=step["service"],
+                    description=step["description"],
+                    buchi_state=step.get("buchi_state", 0),
+                )
+                for step in data.get("steps", ())
+            ],
+            witness=data.get("witness", "cycle"),
+        )
+
 
 def build_counterexample(
     result: KarpMillerResult, node_id: int, witness: str

@@ -24,8 +24,8 @@ the benchmark harness can toggle each one independently:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
 
 
 class CoverageMode(enum.Enum):
@@ -60,6 +60,17 @@ class VerifierOptions:
     def with_(self, **changes) -> "VerifierOptions":
         """A copy of the options with the given fields replaced."""
         return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical, JSON-compatible dict form (used by spec files and the
+        result cache of :mod:`repro.service`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VerifierOptions":
+        """Rebuild options from :meth:`as_dict` output; unknown keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
     @classmethod
     def all_optimizations(cls) -> "VerifierOptions":

@@ -123,6 +123,28 @@ class RepeatedReachabilityAnalyzer:
             leq_result = result
             completed = result.completed
         else:
+            # Violation fast path: every active node of the ⪯-pruned search is
+            # a reachable symbolic state (or an ω limit of reachable states),
+            # and the cycle argument is *sound* on any set of reachable states
+            # -- a ≤-coverage cycle through an accepting state can be pumped
+            # forever.  Only certifying satisfaction (no cycle anywhere) needs
+            # the complete ≤-coverability set, so the expensive classic
+            # re-search below runs only when no cycle is found here.
+            main_states = [node.state for node in result.active_nodes()]
+            accepting_main = {
+                index
+                for index, state in enumerate(main_states)
+                if self.product.is_accepting(state)
+            }
+            if accepting_main:
+                graph = self._coverage_graph(main_states)
+                if _states_on_cycles(graph) & accepting_main:
+                    node = candidates[0]
+                    outcome.repeated_node_ids.add(node.node_id)
+                    outcome.witnesses[node.node_id] = "cycle"
+                    return True
+            if self._out_of_time():
+                return False
             remaining_time = None
             if self.deadline is not None:
                 remaining_time = max(0.1, self.deadline - time.monotonic())

@@ -6,8 +6,8 @@ experiments (state-space sizes, pruning effectiveness, optimisation speedups).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional
 
 
 @dataclass
@@ -58,6 +58,12 @@ class SearchStatistics:
             "timed_out": self.timed_out,
             "state_limit_reached": self.state_limit_reached,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SearchStatistics":
+        """Rebuild statistics from :meth:`as_dict` output; unknown keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
     @property
     def failed(self) -> bool:

@@ -73,6 +73,34 @@ class VerificationResult:
             f"({self.stats.states_explored} states, {self.stats.total_seconds:.3f}s)"
         )
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-compatible dict form (used by the CLI, spec tooling and the
+        :mod:`repro.service` result cache)."""
+        return {
+            "outcome": self.outcome.value,
+            "property_name": self.property_name,
+            "task": self.task,
+            "stats": self.stats.as_dict(),
+            "counterexample": (
+                self.counterexample.as_dict() if self.counterexample else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "VerificationResult":
+        counterexample_data = data.get("counterexample")
+        return cls(
+            outcome=VerificationOutcome(data["outcome"]),
+            property_name=data["property_name"],
+            task=data["task"],
+            stats=SearchStatistics.from_dict(data.get("stats", {})),
+            counterexample=(
+                Counterexample.from_dict(counterexample_data)
+                if counterexample_data
+                else None
+            ),
+        )
+
 
 class Verifier:
     """Verifies LTL-FO properties of tasks of a HAS* specification."""

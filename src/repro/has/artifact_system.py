@@ -395,5 +395,22 @@ class ArtifactSystem:
             "services": n_services,
         }
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality over all declared components (used by spec round-trips)."""
+        if not isinstance(other, ArtifactSystem):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.schema == other.schema
+            and self.tasks == other.tasks
+            and self._parent == other._parent
+            and self._internal == other._internal
+            and self._opening == other._opening
+            and self._closing == other._closing
+            and self.global_precondition == other.global_precondition
+        )
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactSystem({self.name!r}, tasks={list(self._tasks)})"

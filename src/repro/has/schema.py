@@ -228,6 +228,16 @@ class DatabaseSchema:
 
         return max((depth(name) for name in self._relations), default=0)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same relations with the same attributes, in order."""
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return tuple(self._relations.values()) == tuple(other._relations.values())
+
+    #: Schemas are compared structurally but hashed by identity (they are
+    #: never used as dict keys across instances).
+    __hash__ = object.__hash__
+
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and name in self._relations
 

@@ -158,6 +158,20 @@ class TaskSchema:
     def variable_type(self, name: str) -> VarType:
         return self.variable(name).type
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same name, variables, relations and I/O lists."""
+        if not isinstance(other, TaskSchema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.variables == other.variables
+            and self.artifact_relations == other.artifact_relations
+            and self.input_variables == other.input_variables
+            and self.output_variables == other.output_variables
+        )
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"TaskSchema({self.name!r}, vars={list(self._variables)}, "

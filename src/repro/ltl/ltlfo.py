@@ -98,5 +98,19 @@ class LTLFOProperty:
                 f"nor observable services of task {self.task!r}"
             )
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (used by spec round-trips and the result cache)."""
+        if not isinstance(other, LTLFOProperty):
+            return NotImplemented
+        return (
+            self.task == other.task
+            and self.formula == other.formula
+            and self.conditions == other.conditions
+            and self.global_variables == other.global_variables
+            and self.name == other.name
+        )
+
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LTLFOProperty(task={self.task!r}, formula={self.formula})"

@@ -1,0 +1,72 @@
+"""Content-addressed result cache of the verification service.
+
+Keys are job fingerprints (see :mod:`repro.spec.fingerprint`): the SHA-256 of
+the canonical (system, property, options) dicts.  Values are stored in their
+serialized dict form, so a cached entry is exactly what a worker process
+returns and what a persistent backend would store; every ``get`` rebuilds a
+fresh :class:`~repro.core.verifier.VerificationResult`, keeping cached data
+immutable from the caller's point of view.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro.core.verifier import VerificationResult
+
+
+class ResultCache:
+    """A bounded, thread-safe, in-memory result cache with hit/miss counters."""
+
+    def __init__(self, max_entries: int = 10_000):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, fingerprint: str) -> Optional[VerificationResult]:
+        """The cached result for *fingerprint*, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return VerificationResult.from_dict(entry)
+
+    def peek(self, fingerprint: str) -> bool:
+        """Whether *fingerprint* is cached, without touching the counters."""
+        with self._lock:
+            return fingerprint in self._entries
+
+    def put(self, fingerprint: str, result: VerificationResult) -> None:
+        """Insert a result; evicts the oldest entry when the cache is full."""
+        entry = result.as_dict()
+        with self._lock:
+            if fingerprint not in self._entries and len(self._entries) >= self.max_entries:
+                # FIFO eviction: dicts preserve insertion order.
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[fingerprint] = entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def statistics(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        with self._lock:
+            return fingerprint in self._entries

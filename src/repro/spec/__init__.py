@@ -1,0 +1,54 @@
+"""Versioned serialization of HAS* specifications and LTL-FO properties.
+
+This subpackage is deliberately lightweight and dependency-free (PyYAML is
+used only when present, for ``.yaml`` files): it defines canonical dict forms
+for every model object, a versioned on-disk bundle format, and content
+fingerprints used by the :mod:`repro.service` result cache.
+
+Typical usage::
+
+    from repro.spec import SpecBundle, save_spec, load_spec
+
+    save_spec(system, "workflow.spec.json", properties=[prop1, prop2])
+    bundle = load_spec("workflow.spec.json")
+    assert bundle.system == system
+"""
+
+from repro.spec.codec import (
+    SCHEMA_VERSION,
+    dump_condition,
+    dump_property,
+    dump_schema,
+    dump_system,
+    dump_task,
+    load_condition,
+    load_property,
+    load_schema,
+    load_system,
+    load_task,
+)
+from repro.spec.bundle import SpecBundle, load_spec, save_spec
+from repro.spec.errors import SpecError, SpecVersionError
+from repro.spec.fingerprint import canonical_json, fingerprint, job_fingerprint
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SpecBundle",
+    "SpecError",
+    "SpecVersionError",
+    "save_spec",
+    "load_spec",
+    "dump_system",
+    "load_system",
+    "dump_task",
+    "load_task",
+    "dump_schema",
+    "load_schema",
+    "dump_condition",
+    "load_condition",
+    "dump_property",
+    "load_property",
+    "canonical_json",
+    "fingerprint",
+    "job_fingerprint",
+]

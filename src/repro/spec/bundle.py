@@ -1,0 +1,166 @@
+"""Versioned spec documents: an artifact system plus its properties, on disk.
+
+A :class:`SpecBundle` is the unit the CLI and the verification service work
+with: one HAS* specification together with the LTL-FO properties to verify
+against it.  The file format is a plain JSON (or YAML, when PyYAML is
+available) document::
+
+    {
+      "schema_version": 1,
+      "generator": "repro 1.0.0",
+      "system": { ... canonical ArtifactSystem dict ... },
+      "properties": [ ... canonical LTLFOProperty dicts ... ]
+    }
+
+Compatibility rules (documented for users in ``README.md``):
+
+* ``schema_version`` is a major version.  Readers accept any document with
+  ``schema_version <= SCHEMA_VERSION`` and reject newer documents with
+  :class:`~repro.spec.errors.SpecVersionError`.
+* Unknown keys anywhere in the document are ignored, so fields may be added
+  (with defaults) without a version bump.
+* Removing or retyping a field requires bumping ``SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.has.artifact_system import ArtifactSystem
+from repro.ltl.ltlfo import LTLFOProperty
+from repro.spec.codec import (
+    SCHEMA_VERSION,
+    dump_property,
+    dump_system,
+    load_property,
+    load_system,
+)
+from repro.spec.errors import SpecError, SpecVersionError
+
+try:  # PyYAML is optional; JSON is the dependency-free default.
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - depends on the environment
+    _yaml = None
+
+
+def _generator() -> str:
+    from repro import __version__
+
+    return f"repro {__version__}"
+
+
+@dataclass
+class SpecBundle:
+    """One artifact system plus the LTL-FO properties to verify against it."""
+
+    system: ArtifactSystem
+    properties: List[LTLFOProperty] = field(default_factory=list)
+
+    # ---------------------------------------------------------------- queries
+
+    def property_named(self, name: str) -> LTLFOProperty:
+        for ltl_property in self.properties:
+            if ltl_property.name == name:
+                return ltl_property
+        raise KeyError(
+            f"spec bundle has no property named {name!r}; available: "
+            f"{[p.name for p in self.properties]}"
+        )
+
+    # ------------------------------------------------------------------ dicts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "generator": _generator(),
+            "system": dump_system(self.system),
+            "properties": [dump_property(p) for p in self.properties],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpecBundle":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"spec document must be a mapping, got {type(data).__name__}")
+        version = data.get("schema_version", 1)
+        if not isinstance(version, int) or version < 1 or version > SCHEMA_VERSION:
+            raise SpecVersionError(version, SCHEMA_VERSION)
+        system_data = data.get("system")
+        if system_data is None:
+            raise SpecError("spec document has no 'system' section")
+        return cls(
+            system=load_system(system_data),
+            properties=[load_property(p) for p in data.get("properties", ())],
+        )
+
+    # ------------------------------------------------------------------ text
+
+    def dumps(self, format: str = "json") -> str:
+        if format == "json":
+            return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+        if format == "yaml":
+            if _yaml is None:
+                raise SpecError("YAML support requires PyYAML, which is not installed")
+            return _yaml.safe_dump(self.to_dict(), sort_keys=False)
+        raise SpecError(f"unknown spec format {format!r} (expected 'json' or 'yaml')")
+
+    @classmethod
+    def loads(cls, text: str, format: str = "json") -> "SpecBundle":
+        if format == "json":
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise SpecError(f"malformed JSON spec document: {error}") from None
+        elif format == "yaml":
+            if _yaml is None:
+                raise SpecError("YAML support requires PyYAML, which is not installed")
+            try:
+                data = _yaml.safe_load(text)
+            except _yaml.YAMLError as error:
+                raise SpecError(f"malformed YAML spec document: {error}") from None
+        else:
+            raise SpecError(f"unknown spec format {format!r} (expected 'json' or 'yaml')")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------ files
+
+    def save(self, path: Union[str, os.PathLike], format: Optional[str] = None) -> None:
+        """Write the bundle to *path*; the format is inferred from the extension."""
+        format = format or _format_for(path)
+        text = self.dumps(format)  # serialize first: a dumps() error must not truncate the file
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike], format: Optional[str] = None) -> "SpecBundle":
+        """Read a bundle from *path*; the format is inferred from the extension."""
+        format = format or _format_for(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.loads(handle.read(), format)
+
+
+def _format_for(path: Union[str, os.PathLike]) -> str:
+    extension = os.path.splitext(os.fspath(path))[1].lower()
+    if extension in (".yaml", ".yml"):
+        return "yaml"
+    return "json"
+
+
+# Convenience module-level helpers mirroring json.dump / json.load -----------
+
+
+def save_spec(
+    system: ArtifactSystem,
+    path: Union[str, os.PathLike],
+    properties: Sequence[LTLFOProperty] = (),
+    format: Optional[str] = None,
+) -> None:
+    """Write *system* (and optional properties) as a spec file."""
+    SpecBundle(system, list(properties)).save(path, format)
+
+
+def load_spec(path: Union[str, os.PathLike], format: Optional[str] = None) -> SpecBundle:
+    """Read a spec file into a :class:`SpecBundle`."""
+    return SpecBundle.load(path, format)

@@ -1,0 +1,19 @@
+"""Errors raised by the spec serialization layer."""
+
+from __future__ import annotations
+
+
+class SpecError(ValueError):
+    """Raised when a spec document is malformed or cannot be decoded."""
+
+
+class SpecVersionError(SpecError):
+    """Raised when a spec document was written by an incompatible schema version."""
+
+    def __init__(self, found: object, supported: int):
+        super().__init__(
+            f"spec document has schema_version={found!r}; this build supports "
+            f"versions 1..{supported}"
+        )
+        self.found = found
+        self.supported = supported

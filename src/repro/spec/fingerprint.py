@@ -1,0 +1,36 @@
+"""Content fingerprints of canonical spec dicts.
+
+The verification service caches results under a fingerprint of the *content*
+of a job -- the canonical dict forms of the artifact system, the property and
+the verifier options -- so two jobs with structurally identical inputs share
+one verification run even when the objects were built independently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN/Infinity."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True, allow_nan=False
+    )
+
+
+def fingerprint(data: Any) -> str:
+    """Hex SHA-256 of the canonical JSON form of *data*."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def job_fingerprint(
+    system_dict: Mapping[str, Any],
+    property_dict: Mapping[str, Any],
+    options_dict: Mapping[str, Any],
+) -> str:
+    """The cache key of one (system, property, options) verification job."""
+    return fingerprint(
+        {"system": system_dict, "property": property_dict, "options": options_dict}
+    )

@@ -1,0 +1,84 @@
+"""Tests of the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.has.conditions import Const, Eq, Neq, Var
+from repro.ltl import LTLFOProperty, parse_ltl
+from repro.spec import load_spec, save_spec
+
+
+@pytest.fixture
+def spec_path(tiny_system, tmp_path):
+    properties = [
+        LTLFOProperty("Main", parse_ltl("G ns"),
+                      {"ns": Neq(Var("status"), Const("shipped"))}, name="never-shipped"),
+        LTLFOProperty("Main", parse_ltl("G (p -> F s)"),
+                      {"p": Eq(Var("status"), Const("picked")),
+                       "s": Eq(Var("status"), Const("shipped"))}, name="response"),
+    ]
+    path = tmp_path / "tiny.spec.json"
+    save_spec(tiny_system, path, properties=properties)
+    return path
+
+
+class TestVerifyCommand:
+    def test_verify_all_properties(self, spec_path, capsys):
+        exit_code = main(["verify", str(spec_path), "--timeout", "30"])
+        out = capsys.readouterr().out
+        assert exit_code == 1  # one property is violated
+        assert "never-shipped" in out and "violated" in out
+        assert "response" in out and "satisfied" in out
+
+    def test_verify_selected_property_json(self, spec_path, capsys):
+        exit_code = main(
+            ["verify", str(spec_path), "--property", "response", "--json", "--timeout", "30"]
+        )
+        assert exit_code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["total"] == 1
+        assert data["results"][0]["property"] == "response"
+        assert data["results"][0]["outcome"] == "satisfied"
+
+    def test_verify_empty_spec_fails(self, tiny_system, tmp_path, capsys):
+        path = tmp_path / "empty.spec.json"
+        save_spec(tiny_system, path)
+        assert main(["verify", str(path)]) == 2
+        assert "no properties" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["verify", "/nonexistent/x.spec.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_batch_reports_cache_hits_for_duplicate_specs(self, spec_path, capsys):
+        exit_code = main(
+            ["batch", str(spec_path), str(spec_path), "--workers", "2", "--json",
+             "--timeout", "30"]
+        )
+        assert exit_code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["total"] == 4
+        assert data["cache_hits"] == 2  # second copy of the spec is all duplicates
+
+
+class TestExportSpecCommand:
+    def test_export_and_reload(self, tmp_path, capsys):
+        out = tmp_path / "loan.spec.json"
+        exit_code = main(
+            ["export-spec", "loan-origination", "-o", str(out), "--with-properties", "2"]
+        )
+        assert exit_code == 0
+        bundle = load_spec(out)
+        assert bundle.system.name == "loan-origination"
+        assert len(bundle.properties) == 2
+
+    def test_unknown_workflow_fails(self, tmp_path, capsys):
+        exit_code = main(["export-spec", "nope", "-o", str(tmp_path / "x.json")])
+        assert exit_code == 2
+        assert "unknown workflow" in capsys.readouterr().err
