@@ -12,6 +12,9 @@ Examples::
 
     # Batch-verify several spec files across a worker pool:
     python -m repro batch specs/*.spec.json --workers 4 --json
+
+    # Run the verification server (HTTP JSON API over a persistent store):
+    python -m repro serve --port 8080 --workers 4 --store jobs.db
 """
 
 from __future__ import annotations
@@ -52,6 +55,19 @@ def _options_from(args: argparse.Namespace) -> VerifierOptions:
     return options
 
 
+def _exit_code_for(report: BatchReport) -> int:
+    """1 if anything is violated, 2 if anything is unknown, else 0.
+
+    An UNKNOWN outcome (timeout / state-budget hit) must not exit 0: scripts
+    would read a never-completed verification as proof the properties hold.
+    """
+    if any(r.result.violated for r in report.job_results):
+        return 1
+    if any(r.result.unknown for r in report.job_results):
+        return 2
+    return 0
+
+
 def _print_report(report: BatchReport, as_json: bool) -> None:
     if as_json:
         json.dump(report.as_dict(), sys.stdout, indent=2)
@@ -86,7 +102,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     service = VerificationService()
     report = BatchReport(service.run_batch(jobs, workers=args.workers))
     _print_report(report, args.json)
-    return 1 if any(r.result.violated for r in report.job_results) else 0
+    return _exit_code_for(report)
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -104,7 +120,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     service = VerificationService()
     report = BatchReport(service.run_batch(jobs, workers=args.workers))
     _print_report(report, args.json)
-    return 1 if any(r.result.violated for r in report.job_results) else 0
+    return _exit_code_for(report)
 
 
 def _cmd_export_spec(args: argparse.Namespace) -> int:
@@ -129,6 +145,37 @@ def _cmd_export_spec(args: argparse.Namespace) -> int:
         f"wrote {args.output}: system {system.name!r} "
         f"({len(system.task_names)} tasks, {len(properties)} properties)"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from repro.server import VerificationServer
+
+    try:
+        server = VerificationServer(
+            store_path=args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            default_options=_options_from(args),
+            quiet=args.quiet,
+        )
+    except sqlite3.Error as error:
+        print(f"error: cannot open job store {args.store!r}: {error}", file=sys.stderr)
+        return 2
+    print(f"verification server: store {args.store!r}, {args.workers} worker(s)", flush=True)
+    print(f"  {server.recovery.summary()}", flush=True)
+    try:
+        server.start()
+    except OSError as error:
+        print(f"error: cannot listen on {args.host}:{args.port}: {error}", file=sys.stderr)
+        server.stop()
+        return 2
+    print(f"  listening on {server.url} (Ctrl-C to stop)", flush=True)
+    server.serve_forever()  # blocks; Ctrl-C stops gracefully
+    print("shut down (queued jobs stay persisted)")
     return 0
 
 
@@ -172,10 +219,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.set_defaults(handler=_cmd_export_spec)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the verification server (HTTP JSON API, persistent store)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    serve.add_argument("--port", type=int, default=8080, metavar="PORT",
+                       help="listen port (0 picks a free port; default: 8080)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="verification worker threads (default: 2)")
+    serve.add_argument("--store", default="repro-jobs.db", metavar="PATH",
+                       help="SQLite job/result store (default: repro-jobs.db)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    _add_option_flags(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.has.artifact_system import SpecificationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -183,7 +247,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    except SpecError as error:
+    except (SpecError, SpecificationError) as error:
+        # SpecificationError: a spec file that parses but describes an
+        # invalid HAS* system (load_system re-runs full model validation).
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,34 @@
+"""Verification-as-a-service: a persistent job store behind an HTTP JSON API.
+
+The server turns the batch :mod:`repro.service` engine into a long-running
+process with durable state (pure stdlib: ``http.server`` + ``sqlite3``):
+
+::
+
+    python -m repro serve --port 8080 --workers 4 --store jobs.db
+
+Submitted jobs, their lifecycle and every computed result persist in the
+SQLite store, keyed by content fingerprint.  A restarted server re-queues
+interrupted jobs and serves previously computed results without re-verifying
+(see :mod:`repro.server.recovery`); the in-memory LRU result cache acts as a
+read-through layer over the store (:class:`repro.server.store.StoreBackedCache`).
+Endpoints: ``POST /jobs``, ``GET /jobs``, ``GET /jobs/<id>``, ``GET /metrics``,
+``GET /healthz`` -- documented in ``README.md`` and
+:mod:`repro.server.handlers`.
+"""
+
+from repro.server.app import VerificationServer
+from repro.server.metrics import LatencyTracker, ServerMetrics
+from repro.server.recovery import RecoveryReport, recover
+from repro.server.store import JobStore, StoreBackedCache, StoredJob
+
+__all__ = [
+    "JobStore",
+    "LatencyTracker",
+    "RecoveryReport",
+    "ServerMetrics",
+    "StoreBackedCache",
+    "StoredJob",
+    "VerificationServer",
+    "recover",
+]

@@ -1,0 +1,290 @@
+"""The verification server: HTTP API + worker threads over a persistent store.
+
+A :class:`VerificationServer` owns
+
+* a :class:`~repro.server.store.JobStore` (SQLite) holding the durable job
+  queue and every computed result,
+* a :class:`~repro.server.store.StoreBackedCache` (in-memory LRU read-through
+  over the store) plugged into a
+  :class:`~repro.service.engine.VerificationService`,
+* worker threads that claim queued jobs and verify them, and
+* a :class:`~http.server.ThreadingHTTPServer` running
+  :class:`~repro.server.handlers.ApiHandler`.
+
+On startup the store is repaired with :func:`repro.server.recovery.recover`:
+interrupted jobs re-queue, completed results survive, and re-submitted
+payloads whose fingerprints are already stored complete as cache hits without
+invoking the verifier (the ``verifications_run`` metric stays flat).
+
+::
+
+    server = VerificationServer(store_path="jobs.db", port=0, workers=2)
+    server.start()
+    ...  # POST http://127.0.0.1:{server.port}/jobs
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from http.server import ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.core.options import VerifierOptions
+from repro.server.handlers import ApiHandler
+from repro.server.metrics import ServerMetrics
+from repro.server.recovery import RecoveryReport, recover
+from repro.server.store import JobStore, StoreBackedCache, StoredJob
+from repro.service.cache import ResultCache
+from repro.service.engine import JobCallbacks, VerificationService
+from repro.service.jobs import VerificationJob
+from repro.spec.codec import (
+    SCHEMA_VERSION,
+    dump_property,
+    dump_system,
+    load_property,
+    load_system,
+)
+from repro.spec.errors import SpecError, SpecVersionError
+
+
+class _HttpServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class VerificationServer:
+    """Long-running verification-as-a-service process (HTTP + workers + store)."""
+
+    def __init__(
+        self,
+        store_path: Union[str, "os.PathLike"] = ":memory:",
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        workers: int = 2,
+        default_options: Optional[VerifierOptions] = None,
+        cache_entries: int = 10_000,
+        quiet: bool = True,
+    ):
+        self.host = host
+        self.port = port
+        self.quiet = quiet
+        self.workers = max(0, workers)
+        self.store = JobStore(store_path)
+        self.recovery: RecoveryReport = recover(self.store)
+        self.cache = StoreBackedCache(self.store, ResultCache(max_entries=cache_entries))
+        self.metrics = ServerMetrics()
+        self.service = VerificationService(
+            cache=self.cache, default_options=default_options
+        )
+        self._stop_event = threading.Event()
+        self._wakeup = threading.Event()
+        self._worker_threads: List[threading.Thread] = []
+        self._httpd: Optional[_HttpServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Bind the HTTP socket (resolving ``port=0``) and start all threads."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self._httpd = _HttpServer((self.host, self.port), ApiHandler)
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self.port = self._httpd.server_address[1]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+
+    def stop(self) -> None:
+        """Graceful shutdown: finish in-flight jobs, leave the queue persisted."""
+        self._stop_event.set()
+        self._wakeup.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5)
+        for thread in self._worker_threads:
+            thread.join(timeout=60)
+        if all(not thread.is_alive() for thread in self._worker_threads):
+            self.store.close()
+        # else: a worker is still mid-verification past the join timeout;
+        # leave the store open so its mark_done can land (daemon threads die
+        # with the process anyway, and the job would simply re-run on the
+        # next restart if it doesn't).
+
+    def serve_forever(self) -> None:
+        """Block until stopped or interrupted; starts the server if needed."""
+        if self._httpd is None:
+            self.start()
+        try:
+            while not self._stop_event.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:  # pragma: no cover - interactive use
+            pass
+        finally:
+            self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ workers
+
+    def _worker_loop(self) -> None:
+        while not self._stop_event.is_set():
+            stored = self.store.claim_next()
+            if stored is None:
+                self._wakeup.wait(timeout=0.1)
+                self._wakeup.clear()
+                continue
+            self._process(stored)
+
+    def _process(self, stored: StoredJob) -> None:
+        callbacks = JobCallbacks(
+            on_started=lambda _job: self.metrics.increment("verifications_run")
+        )
+        started = time.monotonic()
+        try:
+            job_result = self.service.run_batch([stored.to_job()], callbacks=callbacks)[0]
+        except Exception as error:
+            self.store.mark_error(stored.id, f"{type(error).__name__}: {error}")
+            self.metrics.increment("jobs_failed")
+            return
+        self.store.mark_done(
+            stored.id, job_result.result.as_dict(), cache_hit=job_result.cache_hit
+        )
+        self.metrics.increment("jobs_completed")
+        self.metrics.job_latency.observe(time.monotonic() - started)
+
+    # -------------------------------------------------------------------- views
+
+    def submit_payload(self, payload: Any) -> Dict[str, Any]:
+        """Validate a ``POST /jobs`` payload and enqueue one job per property.
+
+        The payload mirrors the spec-bundle document format (same
+        ``schema_version`` rules): a ``system`` section plus either one
+        ``property`` or a list of ``properties``, and optional ``options``
+        and ``label``.  Inputs are canonicalised through the spec codecs, so
+        fingerprints match jobs built anywhere else (CLI, Python API).
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecError(
+                f"job payload must be a JSON object, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version", 1)
+        if not isinstance(version, int) or version < 1 or version > SCHEMA_VERSION:
+            raise SpecVersionError(version, SCHEMA_VERSION)
+        system_data = payload.get("system")
+        if system_data is None:
+            raise SpecError("job payload has no 'system' section")
+        system_dict = dump_system(load_system(system_data))
+
+        if "property" in payload and "properties" in payload:
+            raise SpecError("job payload has both 'property' and 'properties'")
+        if "property" in payload:
+            property_list = [payload["property"]]
+        else:
+            property_list = payload.get("properties")
+            if not isinstance(property_list, (list, tuple)) or not property_list:
+                raise SpecError(
+                    "job payload needs a 'property' object or a non-empty 'properties' list"
+                )
+
+        options_data = payload.get("options")
+        if options_data is None:
+            options = self.service.default_options
+        elif isinstance(options_data, Mapping):
+            # Spec files tolerate unknown keys for forward compatibility; an
+            # API submission with one is far more likely a typo (silently
+            # dropping `timeout` for `timeout_seconds` would run unbounded).
+            unknown = set(options_data) - set(VerifierOptions().as_dict())
+            if unknown:
+                raise SpecError(
+                    f"unknown verifier option(s): {', '.join(sorted(unknown))}"
+                )
+            options = VerifierOptions.from_dict(options_data)
+        else:
+            raise SpecError("'options' must be a JSON object")
+        options_dict = options.as_dict()
+
+        label = payload.get("label")
+        if label is not None and not isinstance(label, str):
+            raise SpecError("'label' must be a string")
+
+        jobs = [
+            VerificationJob(
+                system_dict=system_dict,
+                property_dict=dump_property(load_property(property_data)),
+                options_dict=options_dict,
+                label=label,
+            )
+            for property_data in property_list
+        ]
+        accepted = []
+        for job in jobs:
+            stored = self.store.submit(job, label=label)
+            self.metrics.increment("jobs_submitted")
+            accepted.append(
+                {
+                    "id": stored.id,
+                    "fingerprint": stored.fingerprint,
+                    "system": stored.system_name,
+                    "property": stored.property_name,
+                    "status": stored.status,
+                    "url": f"/jobs/{stored.id}",
+                }
+            )
+        self._wakeup.set()
+        return {"jobs": accepted}
+
+    def job_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The ``GET /jobs/<id>`` body: status, plus the result when done."""
+        stored = self.store.get_job(job_id)
+        if stored is None:
+            return None
+        result = None
+        if stored.status == "done":
+            # Status polling must not skew the cache-effectiveness counters.
+            result = self.store.get_result(stored.fingerprint, count=False)
+        return stored.as_dict(result=result)
+
+    def jobs_view(self, status: Optional[str] = None, limit: int = 100) -> Dict[str, Any]:
+        return {
+            "jobs": [stored.as_dict() for stored in self.store.list_jobs(status, limit)],
+            "counts": self.store.counts(),
+        }
+
+    def metrics_view(self) -> Dict[str, Any]:
+        cache = self.cache.statistics()
+        lookups = cache["hits"] + cache["misses"]
+        served_from_cache = cache["hits"] + cache["store_hits"]
+        counts = self.store.counts()
+        return {
+            **self.metrics.snapshot(),
+            "queue": {
+                "depth": counts["queued"],
+                "running": counts["running"],
+                "jobs": counts,
+            },
+            "cache": {
+                **cache,
+                "hit_rate": (served_from_cache / lookups) if lookups else None,
+            },
+            "recovery": self.recovery.as_dict(),
+            "workers": self.workers,
+            "store_path": self.store.path,
+        }

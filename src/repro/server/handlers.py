@@ -1,0 +1,147 @@
+"""HTTP request handlers of the verification server (stdlib ``http.server``).
+
+The API is JSON in, JSON out:
+
+========================  =====================================================
+``POST /jobs``            submit a spec payload; enqueues one job per property
+``GET /jobs``             list jobs (``?status=queued|running|done|error``,
+                          ``?limit=N``)
+``GET /jobs/<id>``        one job's status; includes the result (with any
+                          counterexample) once the job is ``done``
+``GET /metrics``          cache hit rates, queue depth, latency percentiles
+``GET /healthz``          liveness probe
+========================  =====================================================
+
+Handlers are deliberately thin: they parse the request, call the matching
+view on the owning :class:`~repro.server.app.VerificationServer`, and encode
+the response.  Malformed payloads map to 400, unknown resources to 404,
+anything unexpected to 500 -- always as ``{"error": ...}`` JSON bodies.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Dict
+from urllib.parse import parse_qs
+
+from repro.has.artifact_system import SpecificationError
+from repro.spec.errors import SpecError
+
+_JOB_PATH = re.compile(r"^/jobs/([^/]+)$")
+
+#: Largest accepted request body (spec payloads are text; 16 MiB is generous).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ApiHandler(BaseHTTPRequestHandler):
+    """Routes API requests to the owning :class:`VerificationServer`."""
+
+    server_version = "repro-verifas"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self):
+        return self.server.app  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ routes
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming convention)
+        self.app.metrics.increment("requests")
+        path, _, query = self.path.partition("?")
+        try:
+            if path == "/healthz":
+                return self._send(200, {"status": "ok"})
+            if path == "/metrics":
+                return self._send(200, self.app.metrics_view())
+            if path == "/jobs":
+                return self._list_jobs(parse_qs(query))
+            match = _JOB_PATH.match(path)
+            if match:
+                view = self.app.job_view(match.group(1))
+                if view is None:
+                    return self._send(404, {"error": f"no job with id {match.group(1)!r}"})
+                return self._send(200, view)
+            self._send(404, {"error": f"unknown path {path!r}"})
+        except sqlite3.ProgrammingError:  # pragma: no cover - shutdown race
+            # The store was closed under us: a request in flight while the
+            # server stops. A clear 503 beats a spurious 500.
+            self._send(503, {"error": "server is shutting down"})
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        self.app.metrics.increment("requests")
+        path, _, _ = self.path.partition("?")
+        if path != "/jobs":
+            # The body was never read; a reused keep-alive connection would
+            # misparse it as the next request line.
+            self.close_connection = True
+            return self._send(404, {"error": f"unknown path {path!r}"})
+        try:
+            payload = self._read_json_body()
+            response = self.app.submit_payload(payload)
+        except _BadRequest as error:
+            return self._send(400, {"error": str(error)})
+        except (SpecError, SpecificationError, ValueError, TypeError, KeyError) as error:
+            return self._send(400, {"error": f"invalid job payload: {error}"})
+        except sqlite3.ProgrammingError:  # pragma: no cover - shutdown race
+            return self._send(503, {"error": "server is shutting down"})
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            return self._send(500, {"error": f"{type(error).__name__}: {error}"})
+        self._send(202, response)
+
+    # ----------------------------------------------------------------- helpers
+
+    def _list_jobs(self, params: Dict[str, list]) -> None:
+        status = params.get("status", [None])[0]
+        try:
+            limit = int(params.get("limit", ["100"])[0])
+        except ValueError:
+            return self._send(400, {"error": "limit must be an integer"})
+        try:
+            self._send(200, self.app.jobs_view(status=status, limit=limit))
+        except ValueError as error:
+            self._send(400, {"error": str(error)})
+
+    def _read_json_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            self.close_connection = True  # body length unknown: cannot drain it
+            raise _BadRequest("missing or malformed Content-Length header") from None
+        if length <= 0:
+            # A chunked body would report no Content-Length; either way we
+            # are not draining whatever follows.
+            self.close_connection = True
+            raise _BadRequest("request body is empty")
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # refuse to drain an oversized body
+            raise _BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"malformed JSON body: {error}") from None
+
+    def _send(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set by error paths that leave the request body unread; tell the
+            # client explicitly instead of silently dropping the keep-alive.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.app, "quiet", True):  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+
+class _BadRequest(Exception):
+    """Internal marker for request-level (not payload-level) 400s."""

@@ -1,0 +1,91 @@
+"""Server metrics: counters and latency percentiles for ``GET /metrics``.
+
+Latencies are kept in a bounded reservoir (the most recent ``window``
+observations), which is enough for interactive p50/p90/p99 readouts without
+unbounded memory growth on a long-running server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+
+class LatencyTracker:
+    """Sliding-window latency observations with percentile readouts."""
+
+    def __init__(self, window: int = 1024):
+        if window < 1:
+            raise ValueError("window must be positive")
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_seconds += seconds
+
+    @staticmethod
+    def _rank(ordered, fraction: float) -> Optional[float]:
+        if not ordered:
+            return None
+        return ordered[min(len(ordered) - 1, max(0, int(fraction * len(ordered))))]
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The *fraction*-quantile (nearest-rank) of the window, or ``None``."""
+        with self._lock:
+            return self._rank(sorted(self._samples), fraction)
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        # One lock acquisition and one sort: the counters and all three
+        # percentiles describe the same sample set.
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self.count, self.total_seconds
+        return {
+            "count": count,
+            "mean_seconds": (total / count) if count else None,
+            "p50_seconds": self._rank(ordered, 0.50),
+            "p90_seconds": self._rank(ordered, 0.90),
+            "p99_seconds": self._rank(ordered, 0.99),
+        }
+
+
+class ServerMetrics:
+    """Counters + latency tracker, snapshotted by the ``/metrics`` endpoint."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "verifications_run": 0,
+            "requests": 0,
+        }
+        self.job_latency = LatencyTracker()
+        self.started_at = time.time()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "counters": self.counters(),
+            "job_latency": self.job_latency.snapshot(),
+        }

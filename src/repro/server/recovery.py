@@ -1,0 +1,59 @@
+"""Restart recovery for the verification server.
+
+A server process can die with jobs in every lifecycle state.  On startup the
+server runs :func:`recover` against its :class:`~repro.server.store.JobStore`:
+
+* jobs stuck ``running`` (their worker died mid-verification) go back to
+  ``queued`` and are re-verified -- verification is deterministic and
+  idempotent, so re-running an interrupted job is always safe;
+* ``queued`` jobs simply wait for the restarted workers;
+* ``done`` jobs keep their persisted results, which the read-through cache
+  serves without invoking the verifier again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.server.store import JobStore
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What a restarted server found in (and did to) its store."""
+
+    requeued: int          # interrupted `running` jobs returned to the queue
+    queued: int            # jobs awaiting a worker after recovery
+    completed: int         # jobs whose results survived the restart
+    errored: int           # jobs that had failed before the restart
+    results_retained: int  # persisted result rows available to the cache
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requeued": self.requeued,
+            "queued": self.queued,
+            "completed": self.completed,
+            "errored": self.errored,
+            "results_retained": self.results_retained,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"recovered store: {self.requeued} interrupted job(s) re-queued, "
+            f"{self.queued} queued, {self.completed} completed, "
+            f"{self.errored} errored, {self.results_retained} result(s) retained"
+        )
+
+
+def recover(store: JobStore) -> RecoveryReport:
+    """Repair *store* after an unclean shutdown and report what was found."""
+    requeued = store.requeue_running()
+    counts = store.counts()
+    return RecoveryReport(
+        requeued=requeued,
+        queued=counts["queued"],
+        completed=counts["done"],
+        errored=counts["error"],
+        results_retained=store.result_count(),
+    )

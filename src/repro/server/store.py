@@ -1,0 +1,377 @@
+"""The persistent SQLite job/result store behind the verification server.
+
+Two tables back verification-as-a-service:
+
+* ``jobs`` -- one row per submitted job: the canonical spec payload (system,
+  property, options dicts as JSON text), lifecycle status (``queued`` ->
+  ``running`` -> ``done`` | ``error``), timestamps and cache provenance.
+* ``results`` -- serialized :class:`~repro.core.verifier.VerificationResult`
+  dicts keyed by job *content fingerprint* (see
+  :mod:`repro.spec.fingerprint`), shared by every job with the same inputs.
+
+Both survive process restarts: a restarted server re-queues interrupted
+``running`` jobs (see :mod:`repro.server.recovery`) and serves previously
+computed results straight from the ``results`` table without re-verifying.
+
+:class:`StoreBackedCache` layers the in-memory
+:class:`~repro.service.cache.ResultCache` *read-through* over the store: it
+satisfies the same ``get``/``put``/``statistics`` duck type the
+:class:`~repro.service.engine.VerificationService` expects, so the engine's
+cache path transparently hits memory first, then SQLite, then verifies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.verifier import VerificationResult
+from repro.service.cache import ResultCache
+from repro.service.jobs import VerificationJob
+
+#: Lifecycle states of a stored job.
+JOB_STATUSES = ("queued", "running", "done", "error")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            TEXT PRIMARY KEY,
+    fingerprint   TEXT NOT NULL,
+    system_name   TEXT NOT NULL,
+    property_name TEXT NOT NULL,
+    label         TEXT,
+    status        TEXT NOT NULL CHECK (status IN ('queued', 'running', 'done', 'error')),
+    error         TEXT,
+    cache_hit     INTEGER NOT NULL DEFAULT 0,
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    system_json   TEXT NOT NULL,
+    property_json TEXT NOT NULL,
+    options_json  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, submitted_at);
+CREATE INDEX IF NOT EXISTS jobs_by_fingerprint ON jobs (fingerprint);
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    result_json TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+"""
+
+
+@dataclass
+class StoredJob:
+    """One persisted verification job (a ``jobs`` table row)."""
+
+    id: str
+    fingerprint: str
+    system_name: str
+    property_name: str
+    label: Optional[str]
+    status: str
+    error: Optional[str]
+    cache_hit: bool
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    system_dict: Dict[str, Any]
+    property_dict: Dict[str, Any]
+    options_dict: Dict[str, Any]
+
+    def to_job(self) -> VerificationJob:
+        """The engine-level job this row was built from."""
+        return VerificationJob(
+            system_dict=self.system_dict,
+            property_dict=self.property_dict,
+            options_dict=self.options_dict,
+            label=self.label,
+        )
+
+    def as_dict(self, result: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The JSON view served by ``GET /jobs/<id>`` (payload omitted)."""
+        data: Dict[str, Any] = {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "system": self.system_name,
+            "property": self.property_name,
+            "label": self.label,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        if result is not None:
+            data["result"] = result
+        return data
+
+    @classmethod
+    def _from_row(cls, row: sqlite3.Row) -> "StoredJob":
+        return cls(
+            id=row["id"],
+            fingerprint=row["fingerprint"],
+            system_name=row["system_name"],
+            property_name=row["property_name"],
+            label=row["label"],
+            status=row["status"],
+            error=row["error"],
+            cache_hit=bool(row["cache_hit"]),
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            system_dict=json.loads(row["system_json"]),
+            property_dict=json.loads(row["property_json"]),
+            options_dict=json.loads(row["options_json"]),
+        )
+
+
+class JobStore:
+    """Thread-safe persistent job queue + result store on one SQLite file.
+
+    All access goes through a single connection guarded by a lock, so worker
+    threads and HTTP handler threads can share one store instance.  ``claim``
+    transitions are atomic under that lock: each queued job is handed to
+    exactly one worker.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike] = ":memory:"):
+        self.path = os.fspath(path)
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        self._connection.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        self.store_hits = 0
+        self.store_misses = 0
+        with self._lock, self._connection:
+            self._connection.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def submit(self, job: VerificationJob, label: Optional[str] = None) -> StoredJob:
+        """Persist *job* as ``queued`` and return its stored form (with id)."""
+        job_id = uuid.uuid4().hex[:12]
+        now = time.time()
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT INTO jobs (id, fingerprint, system_name, property_name, label,"
+                " status, cache_hit, submitted_at, system_json, property_json, options_json)"
+                " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    job.fingerprint,
+                    job.system_name,
+                    job.property_name,
+                    label if label is not None else job.label,
+                    now,
+                    json.dumps(job.system_dict),
+                    json.dumps(job.property_dict),
+                    json.dumps(job.options_dict),
+                ),
+            )
+        stored = self.get_job(job_id)
+        assert stored is not None
+        return stored
+
+    def claim_next(self) -> Optional[StoredJob]:
+        """Atomically pop the oldest claimable ``queued`` job, marking it ``running``.
+
+        A queued job whose fingerprint is already ``running`` on another
+        worker is not claimable yet: claiming it would verify the same
+        content twice concurrently.  It stays queued until the in-flight twin
+        finishes, at which point it completes as a cache hit.
+        """
+        with self._lock, self._connection:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE status = 'queued' AND fingerprint NOT IN"
+                " (SELECT fingerprint FROM jobs WHERE status = 'running')"
+                " ORDER BY submitted_at, rowid LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            self._connection.execute(
+                "UPDATE jobs SET status = 'running', started_at = ? WHERE id = ?",
+                (time.time(), row["id"]),
+            )
+        return self.get_job(row["id"])
+
+    def mark_done(
+        self, job_id: str, result: Dict[str, Any], cache_hit: bool = False
+    ) -> None:
+        """Record a finished job and persist its result under the fingerprint."""
+        with self._lock, self._connection:
+            row = self._connection.execute(
+                "SELECT fingerprint FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"no stored job with id {job_id!r}")
+            # The read-through cache usually persisted the result already
+            # (results are deterministic per fingerprint): skip the redundant
+            # serialize-and-write on the hot path.
+            exists = self._connection.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (row["fingerprint"],)
+            ).fetchone()
+            if exists is None:
+                self._put_result_locked(row["fingerprint"], result)
+            self._connection.execute(
+                "UPDATE jobs SET status = 'done', cache_hit = ?, finished_at = ?,"
+                " error = NULL WHERE id = ?",
+                (1 if cache_hit else 0, time.time(), job_id),
+            )
+
+    def mark_error(self, job_id: str, message: str) -> None:
+        with self._lock, self._connection:
+            self._connection.execute(
+                "UPDATE jobs SET status = 'error', error = ?, finished_at = ? WHERE id = ?",
+                (message, time.time(), job_id),
+            )
+
+    def requeue_running(self) -> int:
+        """Re-queue jobs left ``running`` by a dead process; returns the count."""
+        with self._lock, self._connection:
+            cursor = self._connection.execute(
+                "UPDATE jobs SET status = 'queued', started_at = NULL"
+                " WHERE status = 'running'"
+            )
+            return cursor.rowcount
+
+    # ------------------------------------------------------------------ queries
+
+    def get_job(self, job_id: str) -> Optional[StoredJob]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return StoredJob._from_row(row) if row is not None else None
+
+    def list_jobs(
+        self, status: Optional[str] = None, limit: int = 100
+    ) -> List[StoredJob]:
+        """Most recently submitted jobs first, optionally filtered by status."""
+        if status is not None and status not in JOB_STATUSES:
+            raise ValueError(f"unknown job status {status!r}; expected one of {JOB_STATUSES}")
+        query = "SELECT * FROM jobs"
+        parameters: List[Any] = []
+        if status is not None:
+            query += " WHERE status = ?"
+            parameters.append(status)
+        query += " ORDER BY submitted_at DESC, rowid DESC LIMIT ?"
+        parameters.append(max(0, limit))
+        with self._lock:
+            rows = self._connection.execute(query, parameters).fetchall()
+        return [StoredJob._from_row(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per status (every status present, zero when empty)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+            ).fetchall()
+        counts = {status: 0 for status in JOB_STATUSES}
+        for row in rows:
+            counts[row["status"]] = row["n"]
+        return counts
+
+    # ------------------------------------------------------------------ results
+
+    def get_result(self, fingerprint: str, count: bool = True) -> Optional[Dict[str, Any]]:
+        """The persisted result dict for *fingerprint*.
+
+        ``count=True`` (the default, used by the read-through cache) updates
+        the store hit/miss counters; status polling passes ``count=False`` so
+        it cannot skew the cache-effectiveness metrics.
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT result_json FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            if row is None:
+                if count:
+                    self.store_misses += 1
+                return None
+            if count:
+                self.store_hits += 1
+            return json.loads(row["result_json"])
+
+    def has_result(self, fingerprint: str) -> bool:
+        """Whether a result is persisted, without touching the hit/miss counters."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return row is not None
+
+    def put_result(self, fingerprint: str, result: Dict[str, Any]) -> None:
+        with self._lock, self._connection:
+            self._put_result_locked(fingerprint, result)
+
+    def _put_result_locked(self, fingerprint: str, result: Dict[str, Any]) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO results (fingerprint, result_json, created_at)"
+            " VALUES (?, ?, ?)",
+            (fingerprint, json.dumps(result), time.time()),
+        )
+
+    def result_count(self) -> int:
+        with self._lock:
+            return self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "results": self.result_count(),
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+        }
+
+
+class StoreBackedCache:
+    """Read-through layer: in-memory LRU :class:`ResultCache` over a :class:`JobStore`.
+
+    ``get`` consults memory first, then the store (promoting store hits into
+    memory); ``put`` writes both.  Implements the cache duck type the
+    verification engine uses, so plugging it into a
+    :class:`~repro.service.engine.VerificationService` makes every previously
+    persisted result a cache hit -- including after a process restart with a
+    cold memory cache.
+    """
+
+    def __init__(self, store: JobStore, memory: Optional[ResultCache] = None):
+        self.store = store
+        self.memory = memory if memory is not None else ResultCache()
+
+    def get(self, fingerprint: str) -> Optional[VerificationResult]:
+        cached = self.memory.get(fingerprint)
+        if cached is not None:
+            return cached
+        persisted = self.store.get_result(fingerprint)
+        if persisted is None:
+            return None
+        result = VerificationResult.from_dict(persisted)
+        self.memory.put(fingerprint, result)
+        return result
+
+    def peek(self, fingerprint: str) -> bool:
+        return self.memory.peek(fingerprint) or self.store.has_result(fingerprint)
+
+    def put(self, fingerprint: str, result: VerificationResult) -> None:
+        self.memory.put(fingerprint, result)
+        self.store.put_result(fingerprint, result.as_dict())
+
+    def statistics(self) -> Dict[str, int]:
+        memory = self.memory.statistics()
+        return {
+            "entries": memory["entries"],
+            "hits": memory["hits"],
+            "misses": memory["misses"],
+            **self.store.statistics(),
+        }

@@ -11,19 +11,20 @@ immutable from the caller's point of view.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, Optional
 
 from repro.core.verifier import VerificationResult
 
 
 class ResultCache:
-    """A bounded, thread-safe, in-memory result cache with hit/miss counters."""
+    """A bounded, thread-safe, in-memory LRU result cache with hit/miss counters."""
 
     def __init__(self, max_entries: int = 10_000):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -35,6 +36,7 @@ class ResultCache:
             if entry is None:
                 self.misses += 1
                 return None
+            self._entries.move_to_end(fingerprint)
             self.hits += 1
             return VerificationResult.from_dict(entry)
 
@@ -44,13 +46,13 @@ class ResultCache:
             return fingerprint in self._entries
 
     def put(self, fingerprint: str, result: VerificationResult) -> None:
-        """Insert a result; evicts the oldest entry when the cache is full."""
+        """Insert a result; evicts the least recently used entry when full."""
         entry = result.as_dict()
         with self._lock:
-            if fingerprint not in self._entries and len(self._entries) >= self.max_entries:
-                # FIFO eviction: dicts preserve insertion order.
-                oldest = next(iter(self._entries))
-                del self._entries[oldest]
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+            elif len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
             self._entries[fingerprint] = entry
 
     def clear(self) -> None:

@@ -1,0 +1,256 @@
+"""Tests of the persistent SQLite job/result store (repro.server.store)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.stats import SearchStatistics
+from repro.core.verifier import VerificationOutcome, VerificationResult
+from repro.server import JobStore, StoreBackedCache, recover
+from repro.service import ResultCache, VerificationJob
+from repro.spec import dump_property, dump_system
+
+
+def _job(system, ltl_property, **options):
+    from repro.core.options import VerifierOptions
+
+    return VerificationJob(
+        system_dict=dump_system(system),
+        property_dict=dump_property(ltl_property),
+        options_dict=VerifierOptions(**options).as_dict(),
+    )
+
+
+def _result(name="p") -> VerificationResult:
+    return VerificationResult(
+        outcome=VerificationOutcome.SATISFIED,
+        property_name=name,
+        task="Main",
+        stats=SearchStatistics(states_explored=3),
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "jobs.db")
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def sample_jobs(tiny_system):
+    from repro.has.conditions import Const, Eq, Neq, Var
+    from repro.ltl import LTLFOProperty, parse_ltl
+
+    props = [
+        LTLFOProperty("Main", parse_ltl("G ns"),
+                      {"ns": Neq(Var("status"), Const("shipped"))}, name="never-shipped"),
+        LTLFOProperty("Main", parse_ltl("F p"),
+                      {"p": Eq(Var("status"), Const("picked"))}, name="eventually-picked"),
+    ]
+    return [_job(tiny_system, p, timeout_seconds=30) for p in props]
+
+
+class TestJobLifecycle:
+    def test_submit_persists_queued_job(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0], label="smoke")
+        assert stored.status == "queued" and stored.label == "smoke"
+        assert stored.fingerprint == sample_jobs[0].fingerprint
+        fetched = store.get_job(stored.id)
+        assert fetched is not None and fetched.submitted_at > 0
+        # The payload round-trips into an equivalent engine-level job.
+        assert fetched.to_job().fingerprint == sample_jobs[0].fingerprint
+
+    def test_claim_next_is_fifo_and_marks_running(self, store, sample_jobs):
+        first = store.submit(sample_jobs[0])
+        second = store.submit(sample_jobs[1])
+        claimed = store.claim_next()
+        assert claimed.id == first.id and claimed.status == "running"
+        assert claimed.started_at is not None
+        assert store.claim_next().id == second.id
+        assert store.claim_next() is None
+
+    def test_mark_done_persists_result_under_fingerprint(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next()
+        store.mark_done(stored.id, _result().as_dict())
+        finished = store.get_job(stored.id)
+        assert finished.status == "done" and finished.finished_at is not None
+        assert store.get_result(stored.fingerprint)["outcome"] == "satisfied"
+
+    def test_mark_done_keeps_an_already_persisted_result(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next()
+        store.put_result(stored.fingerprint, _result("from-cache").as_dict())
+        # mark_done skips the redundant write; the persisted result stands.
+        store.mark_done(stored.id, _result("from-worker").as_dict())
+        assert store.get_job(stored.id).status == "done"
+        assert store.get_result(stored.fingerprint)["property_name"] == "from-cache"
+
+    def test_mark_done_unknown_id_raises(self, store):
+        with pytest.raises(KeyError):
+            store.mark_done("nope", _result().as_dict())
+
+    def test_mark_error(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next()
+        store.mark_error(stored.id, "ValueError: boom")
+        failed = store.get_job(stored.id)
+        assert failed.status == "error" and failed.error == "ValueError: boom"
+        assert store.counts()["error"] == 1
+
+    def test_requeue_running(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next()
+        assert store.requeue_running() == 1
+        requeued = store.get_job(stored.id)
+        assert requeued.status == "queued" and requeued.started_at is None
+        assert store.requeue_running() == 0
+
+    def test_duplicate_fingerprint_is_not_claimed_while_twin_runs(self, store, sample_jobs):
+        first = store.submit(sample_jobs[0])
+        duplicate = store.submit(sample_jobs[0])   # same fingerprint
+        other = store.submit(sample_jobs[1])
+        assert store.claim_next().id == first.id
+        # The duplicate is skipped while its twin is in flight; the next
+        # distinct job is handed out instead.
+        assert store.claim_next().id == other.id
+        assert store.claim_next() is None
+        store.mark_done(first.id, _result().as_dict())
+        assert store.claim_next().id == duplicate.id
+
+    def test_each_job_is_claimed_exactly_once_across_threads(self, store, tiny_system):
+        from repro.has.conditions import Const, Eq, Var
+        from repro.ltl import LTLFOProperty, parse_ltl
+
+        prop = LTLFOProperty("Main", parse_ltl("F p"),
+                             {"p": Eq(Var("status"), Const("picked"))}, name="f-picked")
+        # Distinct options -> 8 distinct fingerprints (claim-dedup stays out).
+        jobs = [_job(tiny_system, prop, max_states=100 + index) for index in range(8)]
+        ids = [store.submit(job).id for job in jobs]
+        claimed, lock = [], threading.Lock()
+
+        def worker():
+            while True:
+                stored = store.claim_next()
+                if stored is None:
+                    return
+                with lock:
+                    claimed.append(stored.id)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == sorted(ids)
+
+
+class TestQueries:
+    def test_list_jobs_filters_and_limits(self, store, sample_jobs):
+        for _ in range(3):
+            store.submit(sample_jobs[0])
+        store.claim_next()  # claims the oldest; listing is newest-first
+        assert [j.status for j in store.list_jobs()] == ["queued", "queued", "running"]
+        assert len(store.list_jobs(status="queued")) == 2
+        assert len(store.list_jobs(status="running")) == 1
+        assert len(store.list_jobs(limit=1)) == 1
+
+    def test_list_jobs_rejects_unknown_status(self, store):
+        with pytest.raises(ValueError, match="unknown job status"):
+            store.list_jobs(status="finished")
+
+    def test_counts_cover_every_status(self, store, sample_jobs):
+        assert store.counts() == {"queued": 0, "running": 0, "done": 0, "error": 0}
+        store.submit(sample_jobs[0])
+        store.submit(sample_jobs[1])
+        store.claim_next()
+        assert store.counts() == {"queued": 1, "running": 1, "done": 0, "error": 0}
+
+    def test_get_result_counts_only_when_asked(self, store):
+        store.put_result("fp", _result().as_dict())
+        assert store.get_result("fp", count=False) is not None
+        assert store.get_result("missing", count=False) is None
+        assert store.statistics()["store_hits"] == 0
+        assert store.statistics()["store_misses"] == 0
+        store.get_result("fp")
+        store.get_result("missing")
+        assert store.statistics() == {"results": 1, "store_hits": 1, "store_misses": 1}
+
+    def test_has_result_does_not_touch_counters(self, store):
+        store.put_result("fp", _result().as_dict())
+        assert store.has_result("fp") and not store.has_result("other")
+        assert store.statistics()["store_hits"] == 0
+
+
+class TestPersistence:
+    def test_jobs_and_results_survive_reopen(self, tmp_path, sample_jobs):
+        path = tmp_path / "jobs.db"
+        store = JobStore(path)
+        stored = store.submit(sample_jobs[0])
+        store.claim_next()
+        store.mark_done(stored.id, _result().as_dict())
+        queued = store.submit(sample_jobs[1])
+        store.close()
+
+        reopened = JobStore(path)
+        assert reopened.get_job(stored.id).status == "done"
+        assert reopened.get_job(queued.id).status == "queued"
+        assert reopened.get_result(stored.fingerprint, count=False) is not None
+        reopened.close()
+
+    def test_recover_requeues_interrupted_jobs(self, tmp_path, sample_jobs):
+        path = tmp_path / "jobs.db"
+        store = JobStore(path)
+        done = store.submit(sample_jobs[0])
+        store.claim_next()
+        store.mark_done(done.id, _result().as_dict())
+        interrupted = store.submit(sample_jobs[1])
+        store.claim_next()  # now `running`; simulate the process dying here
+        store.close()
+
+        reopened = JobStore(path)
+        report = recover(reopened)
+        assert report.requeued == 1 and report.queued == 1
+        assert report.completed == 1 and report.results_retained == 1
+        assert reopened.get_job(interrupted.id).status == "queued"
+        assert "re-queued" in report.summary()
+        reopened.close()
+
+
+class TestStoreBackedCache:
+    def test_put_writes_memory_and_store(self, store):
+        cache = StoreBackedCache(store)
+        cache.put("fp", _result())
+        assert cache.memory.peek("fp")
+        assert store.has_result("fp")
+
+    def test_get_prefers_memory_then_store(self, store):
+        cache = StoreBackedCache(store)
+        store.put_result("fp", _result("persisted").as_dict())
+        first = cache.get("fp")  # memory miss -> store hit, promoted to memory
+        assert first.property_name == "persisted"
+        assert store.store_hits == 1
+        second = cache.get("fp")  # now a pure memory hit
+        assert second.property_name == "persisted"
+        assert store.store_hits == 1  # store untouched the second time
+        stats = cache.statistics()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["store_hits"] == 1
+
+    def test_cold_memory_after_reopen_serves_from_store(self, tmp_path):
+        path = tmp_path / "jobs.db"
+        store = JobStore(path)
+        StoreBackedCache(store).put("fp", _result())
+        store.close()
+        reopened = JobStore(path)
+        cache = StoreBackedCache(reopened, ResultCache(max_entries=4))
+        assert cache.get("fp") is not None  # cold memory, warm store
+        assert reopened.store_hits == 1
+        reopened.close()
+
+    def test_miss_everywhere_returns_none(self, store):
+        cache = StoreBackedCache(store)
+        assert cache.get("absent") is None
+        assert not cache.peek("absent")

@@ -67,6 +67,121 @@ class TestBatchCommand:
         assert data["cache_hits"] == 2  # second copy of the spec is all duplicates
 
 
+class TestExitCodeContract:
+    """Pin the documented contract: 0 satisfied / 1 violated / 2 error."""
+
+    @pytest.fixture
+    def satisfied_spec(self, tiny_system, tmp_path):
+        path = tmp_path / "satisfied.spec.json"
+        save_spec(tiny_system, path, properties=[
+            LTLFOProperty("Main", parse_ltl("G (p -> F s)"),
+                          {"p": Eq(Var("status"), Const("picked")),
+                           "s": Eq(Var("status"), Const("shipped"))}, name="response"),
+        ])
+        return path
+
+    def test_exit_0_when_every_property_is_satisfied(self, satisfied_spec):
+        assert main(["verify", str(satisfied_spec), "--timeout", "30"]) == 0
+
+    def test_exit_1_when_any_property_is_violated(self, spec_path):
+        assert main(["verify", str(spec_path), "--timeout", "30"]) == 1
+
+    def test_exit_2_on_usage_errors(self, spec_path, tmp_path, capsys):
+        assert main(["verify", "/nonexistent/x.spec.json"]) == 2
+        assert main(["verify", str(spec_path), "--property", "no-such-property"]) == 2
+        assert main(["batch", str(tmp_path / "missing.spec.json")]) == 2
+        capsys.readouterr()
+
+    def test_exit_2_on_malformed_spec(self, tmp_path, capsys):
+        path = tmp_path / "broken.spec.json"
+        path.write_text("{not json")
+        assert main(["verify", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_exit_2_when_outcome_is_unknown(self, satisfied_spec, capsys):
+        # A state budget of 1 exhausts immediately: UNKNOWN must not exit 0.
+        assert main(["verify", str(satisfied_spec), "--max-states", "1"]) == 2
+        capsys.readouterr()
+
+    def test_exit_2_on_invalid_has_system(self, spec_path, capsys):
+        import json as json_module
+
+        data = json_module.loads(spec_path.read_text())
+        data["system"]["hierarchy"]["Main"] = "Main"  # self-parent: no root task
+        bad = spec_path.parent / "invalid-system.spec.json"
+        bad.write_text(json_module.dumps(data))
+        assert main(["verify", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_contract_matches_verify(self, satisfied_spec, spec_path, capsys):
+        assert main(["batch", str(satisfied_spec), "--timeout", "30"]) == 0
+        assert main(["batch", str(satisfied_spec), str(spec_path), "--timeout", "30"]) == 1
+        capsys.readouterr()
+
+
+class TestJsonOutput:
+    """--json dumps BatchReport.as_dict() verbatim on stdout."""
+
+    def test_verify_json_is_machine_readable(self, spec_path, capsys):
+        exit_code = main(["verify", str(spec_path), "--json", "--timeout", "30"])
+        assert exit_code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"total", "cache_hits", "outcomes", "results"}
+        assert data["total"] == 2
+        assert data["outcomes"] == {"violated": 1, "satisfied": 1}
+        by_name = {entry["property"]: entry for entry in data["results"]}
+        assert by_name["never-shipped"]["outcome"] == "violated"
+        assert by_name["never-shipped"]["counterexample"] is not None
+        assert by_name["response"]["counterexample"] is None
+        assert all(len(entry["fingerprint"]) == 64 for entry in data["results"])
+
+    def test_batch_json_round_trips_through_json(self, spec_path, capsys):
+        main(["batch", str(spec_path), "--json", "--timeout", "30"])
+        out = capsys.readouterr().out
+        assert json.loads(out)["total"] == 2
+
+
+class TestServeCommand:
+    def test_serve_parser_wiring(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "3", "--store", "x.db", "--quiet"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0 and args.workers == 3 and args.store == "x.db"
+        assert args.quiet is True
+        assert callable(args.handler)
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8080
+        assert args.workers == 2 and args.store == "repro-jobs.db"
+
+    def test_serve_with_unusable_store_path_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "missing-dir" / "jobs.db"
+        assert main(["serve", "--port", "0", "--store", str(bad)]) == 2
+        assert "cannot open job store" in capsys.readouterr().err
+
+    def test_serve_on_occupied_port_exits_2(self, tmp_path, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            exit_code = main(
+                ["serve", "--port", str(port), "--store", str(tmp_path / "jobs.db")]
+            )
+        finally:
+            blocker.close()
+        assert exit_code == 2
+        assert "cannot listen" in capsys.readouterr().err
+
+
 class TestExportSpecCommand:
     def test_export_and_reload(self, tmp_path, capsys):
         out = tmp_path / "loan.spec.json"

@@ -15,6 +15,7 @@ from repro.has.conditions import Const, Eq, Neq, NULL, Var
 from repro.ltl import LTLFOProperty, parse_ltl
 from repro.service import (
     BatchReport,
+    JobCallbacks,
     JobResult,
     ResultCache,
     VerificationJob,
@@ -100,13 +101,48 @@ class TestResultCache:
         first.stats.states_explored = -1
         assert cache.get("k").stats.states_explored == 7
 
-    def test_fifo_eviction(self):
+    def test_lru_eviction_order_without_gets_is_insertion_order(self):
         cache = ResultCache(max_entries=2)
         cache.put("a", self._result("a"))
         cache.put("b", self._result("b"))
         cache.put("c", self._result("c"))
         assert len(cache) == 2
         assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", self._result("a"))
+        cache.put("b", self._result("b"))
+        assert cache.get("a") is not None  # "a" becomes most recent
+        cache.put("c", self._result("c"))  # evicts "b", the LRU entry
+        assert "a" in cache and "b" not in cache and "c" in cache
+
+    def test_put_of_existing_key_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", self._result("a"))
+        cache.put("b", self._result("b"))
+        cache.put("a", self._result("a2"))  # re-put refreshes "a"
+        cache.put("c", self._result("c"))
+        assert "a" in cache and "b" not in cache and "c" in cache
+        assert cache.get("a").property_name == "a2"
+
+    def test_peek_does_not_refresh_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", self._result("a"))
+        cache.put("b", self._result("b"))
+        assert cache.peek("a")
+        cache.put("c", self._result("c"))  # "a" is still the LRU entry
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_eviction_pressure_keeps_most_recently_used(self):
+        cache = ResultCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, self._result(key))
+        cache.get("a")
+        cache.get("c")
+        cache.put("d", self._result("d"))  # evicts "b"
+        cache.put("e", self._result("e"))  # evicts "a"
+        assert sorted(k for k in ("a", "b", "c", "d", "e") if k in cache) == ["c", "d", "e"]
 
     def test_peek_and_clear(self):
         cache = ResultCache()
@@ -187,6 +223,40 @@ class TestVerificationService:
         assert report.outcomes == {"violated": 2}
         data = report.as_dict()
         assert data["total"] == 2 and len(data["results"]) == 2
+
+
+class TestJobCallbacks:
+    def test_callbacks_fire_per_job_with_cache_provenance(self, tiny_system):
+        service = VerificationService(default_options=OPTIONS)
+        props = _properties("Main")[:2]
+        jobs = [VerificationJob.from_objects(tiny_system, p, OPTIONS) for p in props]
+        events = []
+        callbacks = JobCallbacks(
+            on_started=lambda job: events.append(("started", job.property_name)),
+            on_finished=lambda job, result, hit: events.append(
+                ("finished", job.property_name, result.outcome.value, hit)
+            ),
+        )
+        service.run_batch(jobs + [jobs[0]], callbacks=callbacks)
+        assert events == [
+            ("started", "never-shipped"),
+            ("finished", "never-shipped", "violated", False),
+            ("started", "picked-then-shipped"),
+            ("finished", "picked-then-shipped", "satisfied", False),
+            ("finished", "never-shipped", "violated", True),  # in-batch duplicate
+        ]
+
+    def test_cache_hits_skip_on_started(self, tiny_system):
+        service = VerificationService(default_options=OPTIONS)
+        job = VerificationJob.from_objects(tiny_system, _properties("Main")[0], OPTIONS)
+        service.run_batch([job])
+        started, finished = [], []
+        callbacks = JobCallbacks(
+            on_started=lambda j: started.append(j.fingerprint),
+            on_finished=lambda j, r, hit: finished.append(hit),
+        )
+        service.run_batch([job], callbacks=callbacks)
+        assert started == [] and finished == [True]
 
 
 class TestSerializableResults:

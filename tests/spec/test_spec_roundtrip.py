@@ -181,6 +181,55 @@ class TestErrors:
             load_system(data)
 
 
+class TestViolatedResultRoundTrip:
+    """Serialized verification results carrying a real counterexample.
+
+    The satisfied path is covered elsewhere; this pins the violated path: the
+    counterexample must survive dict -> JSON text -> dict -> object intact.
+    """
+
+    @pytest.fixture
+    def violated_result(self, tiny_system):
+        from repro import Verifier, VerifierOptions
+
+        ltl_property = LTLFOProperty(
+            "Main",
+            parse_ltl("G ns"),
+            {"ns": Neq(Var("status"), Const("shipped"))},
+            name="never-shipped",
+        )
+        result = Verifier(tiny_system, VerifierOptions(timeout_seconds=30)).verify(ltl_property)
+        assert result.violated and result.counterexample is not None
+        return result
+
+    def test_counterexample_survives_json_roundtrip(self, violated_result):
+        from repro.core.verifier import VerificationResult
+
+        text = json.dumps(violated_result.as_dict())
+        rebuilt = VerificationResult.from_dict(json.loads(text))
+        assert rebuilt.violated
+        assert rebuilt.as_dict() == violated_result.as_dict()
+        original = violated_result.counterexample
+        clone = rebuilt.counterexample
+        assert clone is not None and len(clone) == len(original)
+        assert clone.witness == original.witness
+        assert [
+            (step.service, step.description, step.buchi_state) for step in clone.steps
+        ] == [
+            (step.service, step.description, step.buchi_state) for step in original.steps
+        ]
+        assert clone.services() == original.services()
+        assert clone.pretty() == original.pretty()
+
+    def test_counterexample_roundtrip_is_canonical(self, violated_result):
+        """Dump -> load -> dump is a fixpoint, so fingerprints stay stable."""
+        from repro.core.verifier import VerificationResult
+
+        first = violated_result.as_dict()
+        second = VerificationResult.from_dict(first).as_dict()
+        assert fingerprint(first) == fingerprint(second)
+
+
 class TestYaml:
     def test_yaml_roundtrip_when_available(self, tiny_system, tmp_path):
         pytest.importorskip("yaml")
