@@ -1,0 +1,45 @@
+"""The public verification API: cancellable sessions over the core search.
+
+This package is the stable, user-facing surface of the verifier (the HTTP
+``/v1`` API of :mod:`repro.server` and the :mod:`repro.client` library mirror
+it):
+
+* :class:`VerificationSession` -- a cancellable, deadline-aware handle over
+  one ``Verifier.verify`` run that buffers typed progress events;
+* :class:`CancellationToken` / :class:`SearchControl` /
+  :class:`ProgressEvent` -- the cooperative-control primitives threaded
+  through :class:`~repro.core.verifier.Verifier`,
+  :class:`~repro.core.karp_miller.KarpMillerSearch` and
+  :class:`~repro.core.repeated.RepeatedReachabilityAnalyzer` (re-exported
+  from :mod:`repro.core.control`).
+
+::
+
+    from repro.api import VerificationSession
+
+    session = VerificationSession(system, prop, deadline_seconds=30).start()
+    for event in session.iter_events():
+        print(event.kind, event.data)
+    result = session.result()          # UNKNOWN + partial stats if cancelled
+"""
+
+from repro.core.control import (
+    STOP_CANCELLED,
+    STOP_DEADLINE,
+    CancellationToken,
+    EventSink,
+    ProgressEvent,
+    SearchControl,
+)
+from repro.api.session import SessionState, VerificationSession
+
+__all__ = [
+    "STOP_CANCELLED",
+    "STOP_DEADLINE",
+    "CancellationToken",
+    "EventSink",
+    "ProgressEvent",
+    "SearchControl",
+    "SessionState",
+    "VerificationSession",
+]

@@ -1,0 +1,209 @@
+"""Verification sessions: cancellable, observable handles over one verification.
+
+A :class:`VerificationSession` wraps one ``Verifier.verify`` call with
+
+* a :class:`~repro.core.control.CancellationToken` -- ``cancel()`` from any
+  thread stops the Karp–Miller search (and the repeated-reachability
+  re-search) at its next loop iteration; the run returns ``UNKNOWN`` with the
+  partial :class:`~repro.core.stats.SearchStatistics` gathered so far;
+* an optional deadline (``deadline_seconds``), enforced the same cooperative
+  way and combined with ``options.timeout_seconds`` (whichever is sooner);
+* a buffered stream of typed :class:`~repro.core.control.ProgressEvent`
+  objects -- phase transitions, periodic state-count heartbeats, a final
+  statistics snapshot -- consumable live (:meth:`iter_events`) or after the
+  fact (:meth:`events`).
+
+Sessions run either on the calling thread (:meth:`run`) or on a background
+thread (:meth:`start` + :meth:`result`)::
+
+    session = VerificationSession(system, prop, options, deadline_seconds=30)
+    session.start()
+    for event in session.iter_events():
+        print(event.kind, event.data)
+    result = session.result()
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Iterator, List, Optional
+
+from repro.core.control import (
+    CancellationToken,
+    EventSink,
+    ProgressEvent,
+    SearchControl,
+)
+from repro.core.options import VerifierOptions
+from repro.core.verifier import VerificationResult, Verifier
+from repro.has.artifact_system import ArtifactSystem
+from repro.ltl.ltlfo import LTLFOProperty
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a verification session."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+
+class VerificationSession:
+    """One cancellable, deadline-aware, progress-reporting verification run."""
+
+    def __init__(
+        self,
+        system: ArtifactSystem,
+        ltl_property: LTLFOProperty,
+        options: Optional[VerifierOptions] = None,
+        deadline_seconds: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
+        event_sink: Optional[EventSink] = None,
+        progress_interval: int = 250,
+    ):
+        self._verifier = Verifier(system, options)
+        self._property = ltl_property
+        self.token = token if token is not None else CancellationToken()
+        self.token.tighten_deadline(deadline_seconds)
+        self._forward = event_sink
+        self.control = SearchControl(
+            token=self.token,
+            event_sink=self._record_event,
+            progress_interval=progress_interval,
+        )
+        self._events: List[ProgressEvent] = []
+        self._condition = threading.Condition()
+        self._state = SessionState.PENDING
+        self._started = False
+        self._result: Optional[VerificationResult] = None
+        self._error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -------------------------------------------------------------------- state
+
+    @property
+    def state(self) -> SessionState:
+        with self._condition:
+            return self._state
+
+    @property
+    def done(self) -> bool:
+        return self.state in (SessionState.DONE, SessionState.ERROR)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.token.cancelled
+
+    # ---------------------------------------------------------------- execution
+
+    def _claim(self) -> None:
+        """Atomically take single-use ownership; raises on the second claim."""
+        with self._condition:
+            if self._started:
+                raise RuntimeError(f"session already started ({self._state.value})")
+            self._started = True
+
+    def run(self) -> VerificationResult:
+        """Run the verification on the calling thread and return its result."""
+        self._claim()
+        return self._run_claimed()
+
+    def _run_claimed(self) -> VerificationResult:
+        with self._condition:
+            self._state = SessionState.RUNNING
+        try:
+            result = self._verifier.verify(self._property, self.control)
+        except BaseException as error:
+            with self._condition:
+                self._error = error
+                self._state = SessionState.ERROR
+                self._condition.notify_all()
+            raise
+        with self._condition:
+            self._result = result
+            self._state = SessionState.DONE
+            self._condition.notify_all()
+        return result
+
+    def start(self) -> "VerificationSession":
+        """Run the verification on a daemon background thread; returns self."""
+        self._claim()
+        self._thread = threading.Thread(
+            target=self._run_quietly, name="repro-session", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run_quietly(self) -> None:
+        try:
+            self._run_claimed()
+        except BaseException:  # noqa: BLE001 - surfaced via result()
+            pass
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent, any thread)."""
+        self.token.cancel()
+        with self._condition:
+            self._condition.notify_all()
+
+    def result(self, timeout: Optional[float] = None) -> VerificationResult:
+        """The verification result, waiting up to *timeout* seconds for it.
+
+        Raises :class:`TimeoutError` if the session is still running after
+        *timeout*, and re-raises the worker's exception if the run failed.
+        """
+        with self._condition:
+            self._condition.wait_for(
+                lambda: self._state in (SessionState.DONE, SessionState.ERROR),
+                timeout=timeout,
+            )
+            if self._error is not None:
+                raise self._error
+            if self._result is None:
+                raise TimeoutError("verification session still running")
+            return self._result
+
+    # ------------------------------------------------------------------- events
+
+    def _record_event(self, event: ProgressEvent) -> None:
+        with self._condition:
+            self._events.append(event)
+            self._condition.notify_all()
+        if self._forward is not None:
+            self._forward(event)
+
+    def events(self) -> List[ProgressEvent]:
+        """A snapshot of every event emitted so far."""
+        with self._condition:
+            return list(self._events)
+
+    def events_after(self, cursor: int) -> List[ProgressEvent]:
+        """Events with ``seq`` greater than *cursor* (the polling primitive)."""
+        with self._condition:
+            return [event for event in self._events if event.seq > cursor]
+
+    def iter_events(self, poll_timeout: float = 10.0) -> Iterator[ProgressEvent]:
+        """Yield events as they arrive until the session reaches a terminal state.
+
+        *poll_timeout* bounds each internal wait so a wedged session cannot
+        block the consumer forever; iteration simply ends when it elapses
+        with no progress and no new events.
+        """
+        # Events are append-only, so a list index is a valid cursor and each
+        # wakeup costs O(new events), not O(all events).
+        index = 0
+        while True:
+            with self._condition:
+                fresh = self._events[index:]
+                if not fresh:
+                    if self._state in (SessionState.DONE, SessionState.ERROR):
+                        return
+                    notified = self._condition.wait(timeout=poll_timeout)
+                    fresh = self._events[index:]
+                    if not fresh and not notified:
+                        return
+                index += len(fresh)
+            for event in fresh:
+                yield event

@@ -13,6 +13,9 @@ Examples::
     # Batch-verify several spec files across a worker pool:
     python -m repro batch specs/*.spec.json --workers 4 --json
 
+    # Same, but on a remote verification server (the /v1 API):
+    python -m repro batch specs/*.spec.json --remote http://127.0.0.1:8080
+
     # Run the verification server (HTTP JSON API over a persistent store):
     python -m repro serve --port 8080 --workers 4 --store jobs.db
 """
@@ -117,8 +120,62 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not jobs:
         print("error: no verification jobs found in the given spec files", file=sys.stderr)
         return 2
+    if args.remote:
+        return _run_remote_batch(args, jobs)
     service = VerificationService()
     report = BatchReport(service.run_batch(jobs, workers=args.workers))
+    _print_report(report, args.json)
+    return _exit_code_for(report)
+
+
+def _run_remote_batch(args: argparse.Namespace, jobs) -> int:
+    """Run a batch on a remote ``/v1`` server via :mod:`repro.client`."""
+    from repro.client import ClientError, VerifasClient
+    from repro.core.stats import SearchStatistics
+    from repro.core.verifier import VerificationOutcome, VerificationResult
+    from repro.service import JobResult
+
+    client = VerifasClient(args.remote)
+    try:
+        handles = [
+            client.submit(
+                job.system_dict,
+                [job.property_dict],
+                options=job.options_dict,
+                label=job.label,
+                ttl_seconds=args.ttl,
+                deadline_ms=args.deadline_ms,
+            )[0]
+            for job in jobs
+        ]
+        views = client.wait_all([h.id for h in handles], deadline_seconds=args.wait)
+    except (ClientError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    job_results = []
+    for job, handle in zip(jobs, handles):
+        view = views[handle.id]
+        if view.get("status") == "error":
+            print(
+                f"error: remote job {handle.id} ({job.describe()}) failed: "
+                f"{view.get('error', 'unknown error')}",
+                file=sys.stderr,
+            )
+            return 2
+        data = view.get("result")
+        if data is not None:
+            result = VerificationResult.from_dict(data)
+        else:
+            # Cancelled before any work landed: no partial result to show.
+            result = VerificationResult(
+                outcome=VerificationOutcome.UNKNOWN,
+                property_name=job.property_name,
+                task=job.property_dict.get("task", ""),
+                stats=SearchStatistics(cancelled=True),
+            )
+        job_results.append(JobResult(job, result, cache_hit=bool(view.get("cache_hit"))))
+    report = BatchReport(job_results)
     _print_report(report, args.json)
     return _exit_code_for(report)
 
@@ -205,6 +262,22 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("specs", nargs="+", help="spec files (.json / .yaml)")
     batch.add_argument("--workers", type=int, default=4, metavar="N")
     batch.add_argument("--json", action="store_true", help="machine-readable output")
+    batch.add_argument(
+        "--remote", metavar="URL", default=None,
+        help="submit to a verification server's /v1 API instead of running locally",
+    )
+    batch.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS", dest="ttl",
+        help="with --remote: expire the remote job records this long after they finish",
+    )
+    batch.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS", dest="deadline_ms",
+        help="with --remote: per-job wall-clock deadline enforced by the server",
+    )
+    batch.add_argument(
+        "--wait", type=float, default=600.0, metavar="SECONDS",
+        help="with --remote: how long to wait for remote jobs (default: 600)",
+    )
     _add_option_flags(batch)
     batch.set_defaults(handler=_cmd_batch)
 

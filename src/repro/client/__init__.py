@@ -1,0 +1,30 @@
+"""The Python client library for the ``/v1`` verification API.
+
+Pure stdlib (``urllib``): submit jobs, poll with exponential backoff, stream
+progress events, cancel.  Used by ``python -m repro batch --remote`` and the
+test suite, so neither has to hand-roll HTTP calls::
+
+    from repro.client import VerifasClient
+
+    client = VerifasClient("http://127.0.0.1:8080")
+    jobs = client.submit(system_dict, properties=[prop_dict],
+                         options={"timeout_seconds": 30}, deadline_ms=60_000)
+    for event in client.iter_events(jobs[0].id):
+        print(event["kind"], event.get("data"))
+    view = client.wait(jobs[0].id)
+    client.cancel(jobs[0].id)
+"""
+
+from repro.client.http import (
+    ClientError,
+    JobHandle,
+    RemoteJobError,
+    VerifasClient,
+)
+
+__all__ = [
+    "ClientError",
+    "JobHandle",
+    "RemoteJobError",
+    "VerifasClient",
+]

@@ -1,0 +1,254 @@
+"""``VerifasClient``: a stdlib-only HTTP client for the ``/v1`` API.
+
+The client is deliberately boring: synchronous ``urllib`` calls, JSON in and
+out, exponential-backoff polling with a hard deadline.  Transport and HTTP
+errors surface as :class:`ClientError`; a job that reaches the ``error``
+lifecycle state surfaces as :class:`RemoteJobError` from :meth:`wait`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Lifecycle states after which a job can never change again.
+TERMINAL_STATES = ("done", "error", "cancelled")
+
+
+class ClientError(Exception):
+    """Transport-level or HTTP-level failure of one API call."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 body: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+
+class RemoteJobError(ClientError):
+    """A waited-on job finished in the ``error`` lifecycle state."""
+
+
+@dataclass(frozen=True)
+class JobHandle:
+    """One accepted job, as returned by ``POST /v1/jobs``."""
+
+    id: str
+    fingerprint: str
+    system: str
+    property: str
+    status: str
+    url: str
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobHandle":
+        return cls(
+            id=data["id"],
+            fingerprint=data["fingerprint"],
+            system=data.get("system", ""),
+            property=data.get("property", ""),
+            status=data.get("status", "queued"),
+            url=data.get("url", f"/v1/jobs/{data['id']}"),
+        )
+
+
+class VerifasClient:
+    """Synchronous client for one verification server's ``/v1`` API."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        poll_initial: float = 0.05,
+        poll_max: float = 2.0,
+        poll_backoff: float = 1.6,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: Exponential-backoff polling parameters (first wait, cap, factor).
+        self.poll_initial = poll_initial
+        self.poll_max = poll_max
+        self.poll_backoff = poll_backoff
+
+    # ------------------------------------------------------------------ plumbing
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {}
+            raise ClientError(
+                body.get("error", f"HTTP {error.code} on {method} {path}"),
+                status=error.code,
+                body=body,
+            ) from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ClientError(f"cannot reach {self.base_url}: {error}") from None
+
+    # ------------------------------------------------------------------- basics
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")[1]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")[1]
+
+    # ------------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        system: Dict[str, Any],
+        properties: Sequence[Dict[str, Any]],
+        options: Optional[Dict[str, Any]] = None,
+        label: Optional[str] = None,
+        ttl_seconds: Optional[float] = None,
+        deadline_ms: Optional[int] = None,
+        schema_version: int = 1,
+    ) -> List[JobHandle]:
+        """Submit one payload (canonical spec dicts); one handle per property."""
+        payload: Dict[str, Any] = {
+            "schema_version": schema_version,
+            "system": system,
+            "properties": list(properties),
+        }
+        if options is not None:
+            payload["options"] = options
+        if label is not None:
+            payload["label"] = label
+        if ttl_seconds is not None:
+            payload["ttl_seconds"] = ttl_seconds
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.submit_payload(payload)
+
+    def submit_payload(self, payload: Dict[str, Any]) -> List[JobHandle]:
+        """Submit an already-built ``POST /v1/jobs`` payload."""
+        status, body = self._request("POST", "/v1/jobs", payload)
+        if status != 202:
+            raise ClientError(f"unexpected status {status} submitting jobs", status, body)
+        return [JobHandle.from_dict(job) for job in body.get("jobs", [])]
+
+    # -------------------------------------------------------------------- query
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """The current ``GET /v1/jobs/<id>`` view."""
+        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+
+    def jobs(self, status: Optional[str] = None, limit: int = 100) -> Dict[str, Any]:
+        query = f"?limit={limit}" + (f"&status={status}" if status else "")
+        return self._request("GET", f"/v1/jobs{query}")[1]
+
+    def events(
+        self, job_id: str, cursor: int = 0, limit: int = 500
+    ) -> Dict[str, Any]:
+        """One ``GET /v1/jobs/<id>/events`` page starting after *cursor*."""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/events?cursor={cursor}&limit={limit}"
+        )[1]
+
+    # ------------------------------------------------------------------- cancel
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/jobs/<id>``: cooperative cancellation."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")[1]
+
+    # ------------------------------------------------------------------ waiting
+
+    def _backoff(self) -> Iterator[float]:
+        delay = self.poll_initial
+        while True:
+            yield delay
+            delay = min(self.poll_max, delay * self.poll_backoff)
+
+    def wait(
+        self,
+        job_id: str,
+        deadline_seconds: float = 300.0,
+        raise_on_error: bool = True,
+    ) -> Dict[str, Any]:
+        """Poll (exponential backoff) until the job is terminal; returns its view.
+
+        Raises :class:`RemoteJobError` when the job ends in the ``error``
+        state (unless *raise_on_error* is false) and :class:`TimeoutError`
+        when *deadline_seconds* elapses first.
+        """
+        deadline = time.monotonic() + deadline_seconds
+        for delay in self._backoff():
+            view = self.job(job_id)
+            if view.get("status") in TERMINAL_STATES:
+                if raise_on_error and view.get("status") == "error":
+                    raise RemoteJobError(
+                        view.get("error", f"job {job_id} failed"), body=view
+                    )
+                return view
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still {view.get('status')!r} after {deadline_seconds}s"
+                )
+            # Never sleep past the deadline: the loop always gets one final
+            # poll at (roughly) the deadline before giving up.
+            time.sleep(min(delay, remaining))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def wait_all(
+        self, job_ids: Sequence[str], deadline_seconds: float = 300.0
+    ) -> Dict[str, Dict[str, Any]]:
+        """Wait for every job id; returns ``{id: terminal view}``."""
+        deadline = time.monotonic() + deadline_seconds
+        views: Dict[str, Dict[str, Any]] = {}
+        for job_id in job_ids:
+            remaining = max(0.0, deadline - time.monotonic())
+            views[job_id] = self.wait(
+                job_id, deadline_seconds=remaining, raise_on_error=False
+            )
+        return views
+
+    def iter_events(
+        self,
+        job_id: str,
+        deadline_seconds: float = 300.0,
+        poll_limit: int = 500,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's progress events (oldest first) until it is terminal.
+
+        Polls ``GET /v1/jobs/<id>/events`` with a cursor and exponential
+        backoff (reset whenever new events arrive), then drains the final
+        page after the job lands so no event is missed.
+        """
+        deadline = time.monotonic() + deadline_seconds
+        cursor = 0
+        backoff = self._backoff()
+        while True:
+            page = self.events(job_id, cursor=cursor, limit=poll_limit)
+            for event in page.get("events", []):
+                cursor = max(cursor, int(event.get("seq", cursor)))
+                yield event
+            if page.get("terminal") and not page.get("events"):
+                return
+            if page.get("events"):
+                backoff = self._backoff()  # progress: restart the backoff
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} still emitting after {deadline_seconds}s")
+            # Never sleep past the deadline: one final page fetch happens at
+            # (roughly) the deadline before giving up.
+            time.sleep(min(next(backoff), remaining))

@@ -1,0 +1,245 @@
+"""Cooperative search control: cancellation tokens and progress events.
+
+Long-running searches (the Karp–Miller main phase, the repeated-reachability
+re-search) accept a :class:`SearchControl` that bundles
+
+* a :class:`CancellationToken` — a thread-safe flag plus an optional
+  monotonic deadline, checked cooperatively inside the search loops (this
+  replaces the ad-hoc ``timeout_seconds`` checks that each phase used to
+  re-implement), and
+* an event sink — any callable taking a :class:`ProgressEvent` — fed typed
+  progress events (phase transitions, states explored, frontier size,
+  partial statistics) while the search runs.
+
+The primitives live in :mod:`repro.core` because the search loops consume
+them; the user-facing session API that builds on them is :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+#: Stop reasons reported by :meth:`CancellationToken.stop_reason`.
+STOP_CANCELLED = "cancelled"
+STOP_DEADLINE = "deadline"
+
+
+class CancellationToken:
+    """A thread-safe cooperative cancellation flag with an optional deadline.
+
+    The token never interrupts anything by itself: search loops poll
+    :meth:`stop_reason` (or :meth:`should_stop`) at safe points and unwind
+    with partial statistics when it fires.  ``cancel()`` may be called from
+    any thread, any number of times.
+
+    A token may be *scoped* under a parent (see :meth:`SearchControl.scoped`):
+    it then also stops when the parent is cancelled or past its deadline,
+    while its own deadline stays private -- this is how a per-``verify``
+    ``timeout_seconds`` coexists with a long-lived session token without
+    permanently tightening it.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        parent: Optional["CancellationToken"] = None,
+    ):
+        #: Absolute ``time.monotonic()`` deadline, or ``None`` for no deadline.
+        self._deadline = deadline
+        self._parent = parent
+        self._cancelled = threading.Event()
+
+    @classmethod
+    def with_timeout(cls, seconds: Optional[float]) -> "CancellationToken":
+        """A token whose deadline is *seconds* from now (``None``: no deadline)."""
+        return cls(deadline=None if seconds is None else time.monotonic() + seconds)
+
+    # ------------------------------------------------------------------ state
+
+    def cancel(self) -> None:
+        """Request cancellation; idempotent and safe from any thread."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called here or on an ancestor
+        (deadline expiry not included)."""
+        return self._cancelled.is_set() or (
+            self._parent is not None and self._parent.cancelled
+        )
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self._deadline
+
+    def tighten_deadline(self, seconds: Optional[float]) -> None:
+        """Lower the deadline to *seconds* from now if that is sooner."""
+        if seconds is None:
+            return
+        candidate = time.monotonic() + seconds
+        if self._deadline is None or candidate < self._deadline:
+            self._deadline = candidate
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the nearest deadline (own or inherited), or ``None``."""
+        own = None if self._deadline is None else self._deadline - time.monotonic()
+        inherited = self._parent.remaining() if self._parent is not None else None
+        if own is None:
+            return inherited
+        if inherited is None:
+            return own
+        return min(own, inherited)
+
+    def expired(self) -> bool:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return True
+        return self._parent is not None and self._parent.expired()
+
+    def stop_reason(self) -> Optional[str]:
+        """``"cancelled"``, ``"deadline"`` or ``None`` (keep going).
+
+        An explicit ``cancel()`` wins over a simultaneously expired deadline,
+        so a user-initiated stop is never misreported as a timeout.
+        """
+        if self.cancelled:
+            return STOP_CANCELLED
+        if self.expired():
+            return STOP_DEADLINE
+        return None
+
+    def should_stop(self) -> bool:
+        return self.stop_reason() is not None
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One typed progress event emitted by a search.
+
+    ``kind`` is one of
+
+    * ``"phase"``    -- a phase transition; ``data["phase"]`` names the phase
+      entered (``"search"``, ``"repeated"``, ``"verdict"``, ...);
+    * ``"progress"`` -- a periodic heartbeat from inside a search loop with
+      ``states_explored``, ``frontier`` (worklist size) and ``active``
+      (current active-set size);
+    * ``"stats"``    -- a partial :class:`~repro.core.stats.SearchStatistics`
+      snapshot (``data`` is its ``as_dict()`` form);
+    * ``"done"``     -- the run finished; ``data`` carries ``outcome``.
+
+    ``seq`` is a monotonically increasing per-control sequence number, so
+    sinks that transport events elsewhere (the HTTP event log) can expose a
+    stable cursor.
+    """
+
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+    timestamp: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ProgressEvent":
+        return cls(
+            kind=payload.get("kind", "progress"),
+            data=dict(payload.get("data", {})),
+            seq=int(payload.get("seq", 0)),
+            timestamp=float(payload.get("timestamp", 0.0)),
+        )
+
+
+#: Anything accepting a :class:`ProgressEvent`; exceptions it raises are
+#: swallowed so a broken observer can never kill a verification run.
+EventSink = Callable[[ProgressEvent], None]
+
+
+class SearchControl:
+    """The (token, event sink) pair threaded through the search phases.
+
+    A default-constructed control never stops anything and drops all events,
+    so the core search code can use it unconditionally::
+
+        control = control or SearchControl()
+    """
+
+    def __init__(
+        self,
+        token: Optional[CancellationToken] = None,
+        event_sink: Optional[EventSink] = None,
+        progress_interval: int = 1000,
+    ):
+        self.token = token if token is not None else CancellationToken()
+        self.event_sink = event_sink
+        #: Emit a ``progress`` event every this many explored states.
+        self.progress_interval = max(1, progress_interval)
+        self._seq = itertools.count(1)
+
+    def scoped(self, timeout_seconds: Optional[float]) -> "SearchControl":
+        """A control sharing this one's token, sink and event sequence, with
+        an additional *private* deadline *timeout_seconds* from now.
+
+        Used to apply a per-run ``options.timeout_seconds`` without
+        permanently tightening a caller-owned token (a session token reused
+        across several ``verify`` calls keeps its own deadline intact).
+        """
+        if timeout_seconds is None:
+            return self
+        child = SearchControl(
+            token=CancellationToken(
+                deadline=time.monotonic() + timeout_seconds, parent=self.token
+            ),
+            event_sink=self.event_sink,
+            progress_interval=self.progress_interval,
+        )
+        child._seq = self._seq  # keep event seq monotonic across the pair
+        return child
+
+    # ---------------------------------------------------------------- stopping
+
+    def stop_reason(self) -> Optional[str]:
+        return self.token.stop_reason()
+
+    def should_stop(self) -> bool:
+        return self.token.should_stop()
+
+    def cancel(self) -> None:
+        self.token.cancel()
+
+    # ------------------------------------------------------------------ events
+
+    def emit(self, kind: str, **data: Any) -> None:
+        if self.event_sink is None:
+            return
+        event = ProgressEvent(
+            kind=kind, data=data, seq=next(self._seq), timestamp=time.time()
+        )
+        try:
+            self.event_sink(event)
+        except Exception:  # noqa: BLE001 - observers must never kill the search
+            pass
+
+    def emit_phase(self, phase: str, **data: Any) -> None:
+        self.emit("phase", phase=phase, **data)
+
+    def emit_progress(self, states_explored: int, frontier: int, active: int) -> None:
+        self.emit(
+            "progress",
+            states_explored=states_explored,
+            frontier=frontier,
+            active=active,
+        )
+
+    def maybe_emit_progress(self, states_explored: int, frontier: int, active: int) -> None:
+        """Emit a heartbeat every ``progress_interval`` explored states."""
+        if self.event_sink is not None and states_explored % self.progress_interval == 0:
+            self.emit_progress(states_explored, frontier, active)

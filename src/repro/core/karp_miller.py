@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.control import STOP_CANCELLED, STOP_DEADLINE, SearchControl
 from repro.core.coverage import covers_leq, covers_preceq
 from repro.core.indexes import ActiveStateIndex
 from repro.core.options import CoverageMode, VerifierOptions
@@ -75,10 +76,18 @@ class KarpMillerResult:
 class KarpMillerSearch:
     """Coverability search over the product system."""
 
-    def __init__(self, product: ProductSystem, options: VerifierOptions):
+    def __init__(
+        self,
+        product: ProductSystem,
+        options: VerifierOptions,
+        control: Optional[SearchControl] = None,
+    ):
         self.product = product
         self.options = options
         self.stats = SearchStatistics()
+        # The control carries the cooperative cancellation token and the
+        # progress-event sink; options.timeout_seconds folds into its deadline.
+        self.control = control if control is not None else SearchControl()
         self._covers = (
             covers_preceq if options.coverage_mode is CoverageMode.PRECEQ else covers_leq
         )
@@ -127,11 +136,9 @@ class KarpMillerSearch:
 
     def run(self) -> KarpMillerResult:
         start_time = time.monotonic()
-        deadline = (
-            start_time + self.options.timeout_seconds
-            if self.options.timeout_seconds is not None
-            else None
-        )
+        # A private scope applies options.timeout_seconds without mutating
+        # the (possibly shared, reusable) caller token.
+        control = self.control.scoped(self.options.timeout_seconds)
         nodes: List[SearchNode] = []
         active: Set[int] = set()
         index: Optional[ActiveStateIndex] = (
@@ -156,6 +163,9 @@ class KarpMillerSearch:
                 index.add(node.node_id, state.edge_elements())
             worklist.append(node.node_id)
             self.stats.states_explored += 1
+            control.maybe_emit_progress(
+                self.stats.states_explored, len(worklist), len(active)
+            )
             return node
 
         def active_candidates_covering(state: ProductState) -> Iterable[int]:
@@ -200,8 +210,12 @@ class KarpMillerSearch:
                 add_node(move.state, None, move.service)
 
         while worklist:
-            if deadline is not None and time.monotonic() > deadline:
-                self.stats.timed_out = True
+            reason = control.stop_reason()
+            if reason is not None:
+                if reason == STOP_DEADLINE:
+                    self.stats.timed_out = True
+                elif reason == STOP_CANCELLED:
+                    self.stats.cancelled = True
                 completed = False
                 break
             if len(nodes) > self.options.max_states:

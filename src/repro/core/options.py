@@ -45,6 +45,14 @@ class VerifierOptions:
     monotone_pruning: bool = True
     check_repeated_reachability: bool = True
     use_artifact_relations: bool = True
+    #: The PR 1 violation fast path of the repeated-reachability phase: look
+    #: for a ≤-coverage cycle through an accepting state on the main ⪯-pruned
+    #: active set before falling back to the classic Section 3.8 re-search.
+    #: Sound (the cycle argument only needs reachable states) and audited by a
+    #: differential stress test against the classic re-search; the switch
+    #: exists so the audit can force the classic path and so the fast path can
+    #: be disabled in the field without a code change.
+    repeated_violation_fast_path: bool = True
 
     #: Hard limit on the number of product states the search may materialise.
     max_states: int = 200_000
@@ -63,8 +71,24 @@ class VerifierOptions:
 
     def as_dict(self) -> Dict[str, Any]:
         """Canonical, JSON-compatible dict form (used by spec files and the
-        result cache of :mod:`repro.service`)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        result cache of :mod:`repro.service`).
+
+        Fields added after the v1 options schema are emitted only when they
+        differ from their default: the canonical dict feeds the content
+        fingerprint, and emitting a new always-present key would silently
+        orphan every previously persisted result (readers default missing
+        keys, so omission is lossless).
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        if data["repeated_violation_fast_path"] is True:
+            del data["repeated_violation_fast_path"]
+        return data
+
+    @classmethod
+    def known_keys(cls) -> set:
+        """Every accepted option key (including defaults omitted by
+        :meth:`as_dict`); used by the HTTP API's unknown-key validation."""
+        return {f.name for f in fields(cls)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "VerifierOptions":

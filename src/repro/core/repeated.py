@@ -25,6 +25,22 @@ The analysis is layered so that the expensive machinery only runs when needed:
    terminate on specifications whose artifact relations can grow without
    bound; the ``≤``-based search always terminates thanks to acceleration.
 
+Step 4 is preceded by a *violation fast path* (gated by
+``VerifierOptions.repeated_violation_fast_path`` and audited by a
+differential stress test against the classic re-search): every active node of
+the ⪯-pruned main search is a reachable symbolic state (or an ω limit of
+reachable states), and the cycle argument is *sound* on any set of reachable
+states -- a ≤-coverage cycle through an accepting state can be pumped
+forever.  Only certifying satisfaction (no cycle anywhere) needs the complete
+≤-coverability set, so the classic re-search runs only when the fast path
+finds nothing.
+
+Coverage-successor graphs are built lazily from the accepting states: a cycle
+through an accepting state lies entirely inside the subgraph reachable from
+it, so successors of states that no accepting state can reach are never
+computed (and never counted in ``repeated_phase_states`` -- the Table 3
+overhead numbers only reflect work the phase actually needed).
+
 The analyzer reports which accepting nodes of the main search are repeatedly
 reachable plus a witness tag ("omega", "terminated" or "cycle") used by the
 counterexample builder.
@@ -34,8 +50,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.control import SearchControl
 from repro.core.coverage import covers_leq
 from repro.core.karp_miller import KarpMillerResult, KarpMillerSearch, SearchNode
 from repro.core.options import CoverageMode, VerifierOptions
@@ -68,15 +85,15 @@ class RepeatedReachabilityAnalyzer:
         product: ProductSystem,
         options: VerifierOptions,
         stats: Optional[SearchStatistics] = None,
-        deadline: Optional[float] = None,
+        control: Optional[SearchControl] = None,
     ):
         self.product = product
         self.options = options
         self.stats = stats or SearchStatistics()
-        self.deadline = deadline
+        self.control = control if control is not None else SearchControl()
 
     def _out_of_time(self) -> bool:
-        return self.deadline is not None and time.monotonic() > self.deadline
+        return self.control.should_stop()
 
     # ------------------------------------------------------------------ public API
 
@@ -89,6 +106,7 @@ class RepeatedReachabilityAnalyzer:
         if not accepting_nodes:
             self.stats.repeated_seconds = time.monotonic() - start
             return outcome
+        self.control.emit_phase("repeated", accepting_candidates=len(accepting_nodes))
 
         # Cheap, sound witnesses first: pumpable ω counters and terminal stutter loops.
         remaining: List[SearchNode] = []
@@ -123,37 +141,33 @@ class RepeatedReachabilityAnalyzer:
             leq_result = result
             completed = result.completed
         else:
-            # Violation fast path: every active node of the ⪯-pruned search is
-            # a reachable symbolic state (or an ω limit of reachable states),
-            # and the cycle argument is *sound* on any set of reachable states
-            # -- a ≤-coverage cycle through an accepting state can be pumped
-            # forever.  Only certifying satisfaction (no cycle anywhere) needs
-            # the complete ≤-coverability set, so the expensive classic
-            # re-search below runs only when no cycle is found here.
-            main_states = [node.state for node in result.active_nodes()]
-            accepting_main = {
-                index
-                for index, state in enumerate(main_states)
-                if self.product.is_accepting(state)
-            }
-            if accepting_main:
-                graph = self._coverage_graph(main_states)
-                if _states_on_cycles(graph) & accepting_main:
+            if self.options.repeated_violation_fast_path:
+                # Violation fast path (see the module docstring): a ≤-coverage
+                # cycle through an accepting state of the main ⪯-pruned active
+                # set already witnesses the violation.
+                main_states = [node.state for node in result.active_nodes()]
+                accepting_main = {
+                    index
+                    for index, state in enumerate(main_states)
+                    if self.product.is_accepting(state)
+                }
+                if accepting_main and self._accepting_on_cycle(main_states, accepting_main):
                     node = candidates[0]
                     outcome.repeated_node_ids.add(node.node_id)
                     outcome.witnesses[node.node_id] = "cycle"
                     return True
             if self._out_of_time():
                 return False
-            remaining_time = None
-            if self.deadline is not None:
-                remaining_time = max(0.1, self.deadline - time.monotonic())
+            self.control.emit_phase("repeated-classic-search")
+            # The shared control's deadline/cancellation token bounds the
+            # re-search; timeout_seconds stays unset so the re-search cannot
+            # extend the original deadline.
             classic_options = self.options.with_(
                 state_pruning=False,
-                timeout_seconds=remaining_time,
+                timeout_seconds=None,
                 max_states=self.options.max_repeated_states,
             )
-            search = KarpMillerSearch(self.product, classic_options)
+            search = KarpMillerSearch(self.product, classic_options, self.control)
             leq_result = search.run()
             self.stats.repeated_phase_states += search.stats.states_explored
             completed = leq_result.completed
@@ -177,11 +191,8 @@ class RepeatedReachabilityAnalyzer:
             or active_states[index].psi.child_active(CLOSED_MARKER)
             for index in accepting_present
         )
-        on_cycle: Set[int] = set()
         if not trivially_repeated:
-            graph = self._coverage_graph(active_states)
-            on_cycle = _states_on_cycles(graph)
-            trivially_repeated = bool(on_cycle & accepting_present)
+            trivially_repeated = self._accepting_on_cycle(active_states, accepting_present)
 
         if trivially_repeated:
             # Report the violation on the main search's accepting nodes (they
@@ -192,8 +203,28 @@ class RepeatedReachabilityAnalyzer:
             outcome.witnesses[node.node_id] = "cycle"
         return completed
 
-    def _coverage_graph(self, states: Sequence[ProductState]) -> Dict[int, Set[int]]:
-        """Edges i -> j when some successor of states[i] is ≤-covered by states[j]."""
+    def _accepting_on_cycle(
+        self, states: Sequence[ProductState], accepting: Set[int]
+    ) -> bool:
+        """Whether some accepting state lies on a ≤-coverage cycle.
+
+        Only the subgraph reachable from the accepting states is built (a
+        cycle through an accepting state cannot leave it), so the graph/SCC
+        pass -- and its ``repeated_phase_states`` counters -- stays
+        proportional to the candidate cycles, not to the whole set.
+        """
+        graph = self._coverage_graph(states, roots=accepting)
+        return bool(_states_on_cycles(graph) & accepting)
+
+    def _coverage_graph(
+        self, states: Sequence[ProductState], roots: Optional[Iterable[int]] = None
+    ) -> Dict[int, Set[int]]:
+        """Edges i -> j when some successor of states[i] is ≤-covered by states[j].
+
+        With *roots*, successors are computed on demand, exploring only the
+        part of the graph reachable from the roots; without them the full
+        graph is materialised.
+        """
         # Bucket states by (Büchi state, tau, children) so that cover targets
         # of a successor are found without scanning the whole set.
         buckets: Dict[Tuple, List[int]] = {}
@@ -201,11 +232,15 @@ class RepeatedReachabilityAnalyzer:
             key = (state.buchi_state, state.psi.tau.canonical_key(), state.psi.children)
             buckets.setdefault(key, []).append(index)
 
-        graph: Dict[int, Set[int]] = {i: set() for i in range(len(states))}
-        for i, state in enumerate(states):
+        pending: List[int] = list(range(len(states)) if roots is None else roots)
+        seen: Set[int] = set(pending)
+        graph: Dict[int, Set[int]] = {}
+        while pending:
             if self._out_of_time():
                 break
-            for move in self.product.successors(state):
+            i = pending.pop()
+            edges = graph[i] = set()
+            for move in self.product.successors(states[i]):
                 self.stats.repeated_phase_states += 1
                 successor = move.state
                 key = (
@@ -215,47 +250,64 @@ class RepeatedReachabilityAnalyzer:
                 )
                 for j in buckets.get(key, ()):  # same tau / Büchi state / children
                     if covers_leq(successor.psi, states[j].psi):
-                        graph[i].add(j)
+                        edges.add(j)
+                        if j not in seen:
+                            seen.add(j)
+                            pending.append(j)
         return graph
 
 
 def _states_on_cycles(graph: Dict[int, Set[int]]) -> Set[int]:
-    """Vertices lying on a (non-trivial or self-loop) cycle, via Tarjan's SCC."""
-    import sys
+    """Vertices lying on a (non-trivial or self-loop) cycle, via Tarjan's SCC.
 
-    sys.setrecursionlimit(max(sys.getrecursionlimit(), 4 * len(graph) + 100))
-    index_counter = [0]
-    stack: List[int] = []
-    lowlink: Dict[int, int] = {}
+    Iterative (explicit work stack): the graph can hold up to ``max_states``
+    vertices, far past CPython's recursion limit.
+    """
+    index_counter = 0
     index: Dict[int, int] = {}
-    on_stack: Dict[int, bool] = {}
+    lowlink: Dict[int, int] = {}
+    stack: List[int] = []
+    on_stack: Set[int] = set()
     result: Set[int] = set()
 
-    def strongconnect(v: int) -> None:
-        index[v] = lowlink[v] = index_counter[0]
-        index_counter[0] += 1
-        stack.append(v)
-        on_stack[v] = True
-        for w in graph.get(v, ()):  # successors
-            if w not in index:
-                strongconnect(w)
-                lowlink[v] = min(lowlink[v], lowlink[w])
-            elif on_stack.get(w):
-                lowlink[v] = min(lowlink[v], index[w])
-        if lowlink[v] == index[v]:
-            component = []
-            while True:
-                w = stack.pop()
-                on_stack[w] = False
-                component.append(w)
-                if w == v:
+    for root in graph:
+        if root in index:
+            continue
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work: List[Tuple[int, Iterable[int]]] = [(root, iter(graph.get(root, ())))]
+        while work:
+            v, successors = work[-1]
+            descended = False
+            for w in successors:
+                if w not in index:
+                    index[w] = lowlink[w] = index_counter
+                    index_counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(graph.get(w, ()))))
+                    descended = True
                     break
-            if len(component) > 1:
-                result.update(component)
-            elif component and component[0] in graph.get(component[0], ()):
-                result.add(component[0])
-
-    for vertex in graph:
-        if vertex not in index:
-            strongconnect(vertex)
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                if len(component) > 1:
+                    result.update(component)
+                elif component[0] in graph.get(component[0], ()):
+                    result.add(component[0])
     return result

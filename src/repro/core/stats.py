@@ -40,6 +40,9 @@ class SearchStatistics:
     timed_out: bool = False
     #: Whether the search hit the state budget.
     state_limit_reached: bool = False
+    #: Whether the search was cooperatively cancelled (see
+    #: :class:`repro.core.control.CancellationToken`).
+    cancelled: bool = False
 
     def as_dict(self) -> Dict[str, float]:
         """A plain-dict view (used by the benchmark harness and EXPERIMENTS.md)."""
@@ -57,6 +60,7 @@ class SearchStatistics:
             "total_seconds": self.total_seconds,
             "timed_out": self.timed_out,
             "state_limit_reached": self.state_limit_reached,
+            "cancelled": self.cancelled,
         }
 
     @classmethod
@@ -67,5 +71,5 @@ class SearchStatistics:
 
     @property
     def failed(self) -> bool:
-        """Whether the run failed to complete (timeout or state budget exhausted)."""
-        return self.timed_out or self.state_limit_reached
+        """Whether the run failed to complete (timeout, cancellation or state budget)."""
+        return self.timed_out or self.state_limit_reached or self.cancelled

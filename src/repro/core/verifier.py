@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.control import STOP_CANCELLED, STOP_DEADLINE, SearchControl
 from repro.core.counterexample import Counterexample, build_counterexample
 from repro.core.karp_miller import KarpMillerResult, KarpMillerSearch
 from repro.core.options import VerifierOptions
@@ -111,8 +112,24 @@ class Verifier:
 
     # ------------------------------------------------------------------ public API
 
-    def verify(self, ltl_property: LTLFOProperty) -> VerificationResult:
-        """Check whether every local run of the property's task satisfies the property."""
+    def verify(
+        self,
+        ltl_property: LTLFOProperty,
+        control: Optional[SearchControl] = None,
+    ) -> VerificationResult:
+        """Check whether every local run of the property's task satisfies the property.
+
+        *control* (see :class:`repro.core.control.SearchControl`) carries a
+        cooperative :class:`~repro.core.control.CancellationToken` and an
+        event sink; a cancelled or deadline-expired run returns ``UNKNOWN``
+        with the partial statistics gathered so far.  ``options.timeout_seconds``
+        folds into the control's deadline, so both limits apply.
+        """
+        # Scope the per-verify timeout privately: a caller-owned control can
+        # be reused across verify() calls, each getting the full timeout.
+        control = (control if control is not None else SearchControl()).scoped(
+            self.options.timeout_seconds
+        )
         started = time.monotonic()
         task_name = ltl_property.task
         if not self.system.has_task(task_name):
@@ -131,18 +148,16 @@ class Verifier:
         automaton = ltl_to_buchi(negated, extra_propositions=transition_system.observable_services)
 
         product = ProductSystem(transition_system, automaton, ltl_property)
-        search = KarpMillerSearch(product, self.options)
+        control.emit_phase("search", property=ltl_property.name, task=task_name)
+        search = KarpMillerSearch(product, self.options, control)
         result = search.run()
         stats = search.stats
         stats.constraints_dropped = transition_system.constraint_filter.dropped_edge_count
 
-        deadline = (
-            started + self.options.timeout_seconds
-            if self.options.timeout_seconds is not None
-            else None
-        )
-        outcome, counterexample = self._verdict(product, result, stats, deadline)
+        outcome, counterexample = self._verdict(product, result, stats, control)
         stats.total_seconds = time.monotonic() - started
+        control.emit("stats", **stats.as_dict())
+        control.emit("done", outcome=outcome.value)
         return VerificationResult(
             outcome=outcome,
             property_name=ltl_property.name,
@@ -162,8 +177,9 @@ class Verifier:
         product: ProductSystem,
         result: KarpMillerResult,
         stats: SearchStatistics,
-        deadline: Optional[float] = None,
+        control: Optional[SearchControl] = None,
     ) -> Tuple[VerificationOutcome, Optional[Counterexample]]:
+        control = control if control is not None else SearchControl()
         accepting_nodes = [
             node for node in result.nodes if product.is_accepting(node.state)
         ]
@@ -182,15 +198,15 @@ class Verifier:
                 return VerificationOutcome.UNKNOWN, None
             return VerificationOutcome.SATISFIED, None
 
-        analyzer = RepeatedReachabilityAnalyzer(product, self.options, stats, deadline)
+        analyzer = RepeatedReachabilityAnalyzer(product, self.options, stats, control)
         repeated = analyzer.analyse(result)
         if repeated.found_violation:
             node_id = min(repeated.repeated_node_ids)
             witness = repeated.witnesses.get(node_id, "cycle")
             return VerificationOutcome.VIOLATED, build_counterexample(result, node_id, witness)
         if not result.completed or not repeated.completed:
-            stats.timed_out = stats.timed_out or (
-                deadline is not None and time.monotonic() > deadline
-            )
+            reason = control.stop_reason()
+            stats.timed_out = stats.timed_out or reason == STOP_DEADLINE
+            stats.cancelled = stats.cancelled or reason == STOP_CANCELLED
             return VerificationOutcome.UNKNOWN, None
         return VerificationOutcome.SATISFIED, None

@@ -7,28 +7,44 @@ process with durable state (pure stdlib: ``http.server`` + ``sqlite3``):
 
     python -m repro serve --port 8080 --workers 4 --store jobs.db
 
-Submitted jobs, their lifecycle and every computed result persist in the
-SQLite store, keyed by content fingerprint.  A restarted server re-queues
-interrupted jobs and serves previously computed results without re-verifying
-(see :mod:`repro.server.recovery`); the in-memory LRU result cache acts as a
-read-through layer over the store (:class:`repro.server.store.StoreBackedCache`).
-Endpoints: ``POST /jobs``, ``GET /jobs``, ``GET /jobs/<id>``, ``GET /metrics``,
-``GET /healthz`` -- documented in ``README.md`` and
-:mod:`repro.server.handlers`.
+Submitted jobs, their lifecycle (``queued -> running -> done | error |
+cancelled``), every computed result and the per-job progress-event log
+persist in the SQLite store, keyed by content fingerprint.  A restarted
+server re-queues interrupted jobs (finalising those whose cancellation was
+already accepted) and serves previously computed results without
+re-verifying (see :mod:`repro.server.recovery`); the in-memory LRU result
+cache acts as a read-through layer over the store
+(:class:`repro.server.store.StoreBackedCache`); a sweeper thread expires
+TTL'd jobs and their now-unreferenced results.
+
+The HTTP surface is versioned under ``/v1`` (``POST /v1/jobs``,
+``GET /v1/jobs``, ``GET /v1/jobs/<id>``, ``DELETE /v1/jobs/<id>``,
+``GET /v1/jobs/<id>/events``, ``GET /v1/metrics``, ``GET /v1/healthz``);
+the original unversioned routes answer identically but carry deprecation
+headers -- documented in ``README.md`` and :mod:`repro.server.handlers`.
+:mod:`repro.client` is the matching Python client library.
 """
 
 from repro.server.app import VerificationServer
 from repro.server.metrics import LatencyTracker, ServerMetrics
 from repro.server.recovery import RecoveryReport, recover
-from repro.server.store import JobStore, StoreBackedCache, StoredJob
+from repro.server.store import (
+    JOB_STATUSES,
+    TERMINAL_STATUSES,
+    JobStore,
+    StoreBackedCache,
+    StoredJob,
+)
 
 __all__ = [
+    "JOB_STATUSES",
     "JobStore",
     "LatencyTracker",
     "RecoveryReport",
     "ServerMetrics",
     "StoreBackedCache",
     "StoredJob",
+    "TERMINAL_STATUSES",
     "VerificationServer",
     "recover",
 ]

@@ -20,7 +20,7 @@ invoking the verifier (the ``verifications_run`` metric stays flat).
 
     server = VerificationServer(store_path="jobs.db", port=0, workers=2)
     server.start()
-    ...  # POST http://127.0.0.1:{server.port}/jobs
+    ...  # POST http://127.0.0.1:{server.port}/v1/jobs
     server.stop()
 """
 
@@ -30,15 +30,22 @@ import os
 import threading
 import time
 from http.server import ThreadingHTTPServer
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.core.control import CancellationToken, SearchControl
 from repro.core.options import VerifierOptions
+from repro.core.verifier import VerificationResult, Verifier
 from repro.server.handlers import ApiHandler
 from repro.server.metrics import ServerMetrics
 from repro.server.recovery import RecoveryReport, recover
-from repro.server.store import JobStore, StoreBackedCache, StoredJob
+from repro.server.store import (
+    TERMINAL_STATUSES,
+    JobStore,
+    StoreBackedCache,
+    StoredJob,
+)
 from repro.service.cache import ResultCache
-from repro.service.engine import JobCallbacks, VerificationService
+from repro.service.engine import VerificationService
 from repro.service.jobs import VerificationJob
 from repro.spec.codec import (
     SCHEMA_VERSION,
@@ -67,11 +74,17 @@ class VerificationServer:
         default_options: Optional[VerifierOptions] = None,
         cache_entries: int = 10_000,
         quiet: bool = True,
+        sweep_interval: float = 2.0,
+        progress_interval: int = 500,
     ):
         self.host = host
         self.port = port
         self.quiet = quiet
         self.workers = max(0, workers)
+        #: How often (seconds) the sweeper thread expires TTL'd jobs/results.
+        self.sweep_interval = sweep_interval
+        #: Explored-state interval between persisted ``progress`` events.
+        self.progress_interval = progress_interval
         self.store = JobStore(store_path)
         self.recovery: RecoveryReport = recover(self.store)
         self.cache = StoreBackedCache(self.store, ResultCache(max_entries=cache_entries))
@@ -84,6 +97,11 @@ class VerificationServer:
         self._worker_threads: List[threading.Thread] = []
         self._httpd: Optional[_HttpServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        self._sweeper_thread: Optional[threading.Thread] = None
+        # Cancellation tokens of jobs currently running on this process's
+        # workers, so `DELETE /v1/jobs/<id>` can trip a live search.
+        self._cancel_lock = threading.Lock()
+        self._cancel_tokens: Dict[str, CancellationToken] = {}
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -107,6 +125,10 @@ class VerificationServer:
             )
             thread.start()
             self._worker_threads.append(thread)
+        self._sweeper_thread = threading.Thread(
+            target=self._sweeper_loop, name="repro-sweeper", daemon=True
+        )
+        self._sweeper_thread.start()
 
     def stop(self) -> None:
         """Graceful shutdown: finish in-flight jobs, leave the queue persisted."""
@@ -117,6 +139,8 @@ class VerificationServer:
             self._httpd.server_close()
         if self._http_thread is not None:
             self._http_thread.join(timeout=5)
+        if self._sweeper_thread is not None:
+            self._sweeper_thread.join(timeout=5)
         for thread in self._worker_threads:
             thread.join(timeout=60)
         if all(not thread.is_alive() for thread in self._worker_threads):
@@ -154,31 +178,117 @@ class VerificationServer:
             self._process(stored)
 
     def _process(self, stored: StoredJob) -> None:
-        callbacks = JobCallbacks(
-            on_started=lambda _job: self.metrics.increment("verifications_run")
-        )
         started = time.monotonic()
-        try:
-            job_result = self.service.run_batch([stored.to_job()], callbacks=callbacks)[0]
-        except Exception as error:
-            self.store.mark_error(stored.id, f"{type(error).__name__}: {error}")
-            self.metrics.increment("jobs_failed")
-            return
-        self.store.mark_done(
-            stored.id, job_result.result.as_dict(), cache_hit=job_result.cache_hit
+        token = CancellationToken()
+        if stored.deadline_ms is not None:
+            token.tighten_deadline(stored.deadline_ms / 1000.0)
+        # Whether a timeout should be blamed on deadline_ms (a job-level limit
+        # outside the content fingerprint) rather than options.timeout_seconds
+        # (fingerprinted, hence safe to cache): deadline_ms is the binding
+        # limit when it is the sooner of the two.
+        options_timeout = stored.options_dict.get("timeout_seconds")
+        deadline_ms_binding = stored.deadline_ms is not None and (
+            options_timeout is None or stored.deadline_ms / 1000.0 <= options_timeout
         )
-        self.metrics.increment("jobs_completed")
-        self.metrics.job_latency.observe(time.monotonic() - started)
+        with self._cancel_lock:
+            self._cancel_tokens[stored.id] = token
+        try:
+            # A cancel accepted between the claim and the registration above
+            # only reached the store; fold it into the live token now.
+            if self.store.is_cancel_requested(stored.id):
+                token.cancel()
+            try:
+                result, cache_hit, deadline_truncated = self._execute(
+                    stored, token, deadline_ms_binding
+                )
+            except Exception as error:
+                self.store.mark_error(stored.id, f"{type(error).__name__}: {error}")
+                self.metrics.increment("jobs_failed")
+                return
+            if result.stats.cancelled:
+                # Terminal `cancelled` state with the partial statistics; the
+                # UNKNOWN verdict never enters the result cache.
+                self.store.mark_cancelled(stored.id, result.as_dict())
+                self.metrics.increment("jobs_cancelled")
+                return
+            # A deadline_ms-truncated verdict stays on the job row, exactly
+            # mirroring _execute's decision to keep it out of the cache.
+            self.store.mark_done(
+                stored.id,
+                result.as_dict(),
+                cache_hit=cache_hit,
+                persist_result=not deadline_truncated,
+            )
+            self.metrics.increment("jobs_completed")
+            self.metrics.job_latency.observe(time.monotonic() - started)
+        finally:
+            with self._cancel_lock:
+                self._cancel_tokens.pop(stored.id, None)
+
+    def _execute(
+        self, stored: StoredJob, token: CancellationToken, deadline_ms_binding: bool
+    ) -> Tuple[VerificationResult, bool, bool]:
+        """Run one claimed job: cache lookup, then a cancellable search.
+
+        Returns ``(result, cache_hit, deadline_truncated)``; the last flag is
+        the single source of truth for "this verdict was cut short by the
+        job-level deadline_ms", used both here (skip the cache) and by
+        ``_process`` (keep the result off the fingerprint-keyed table).
+
+        Progress events stream into the store's per-job event log as the
+        search runs, so ``GET /v1/jobs/<id>/events`` observes them live (the
+        log is the only consumer, so no in-memory session buffer is kept).
+        """
+        job = stored.to_job()
+        cached = self.cache.get(job.fingerprint)
+        if cached is not None:
+            self.store.append_event(
+                stored.id, "done", {"data": {"outcome": cached.outcome.value, "cache_hit": True}}
+            )
+            return cached, True, False
+        self.metrics.increment("verifications_run")
+        control = SearchControl(
+            token=token,
+            event_sink=lambda event: self.store.append_event(
+                stored.id, event.kind, {"data": event.data}
+            ),
+            progress_interval=self.progress_interval,
+        )
+        result = Verifier(job.system(), job.options()).verify(job.ltl_property(), control)
+        # Results truncated by job-level limits that are NOT part of the
+        # content fingerprint (cancellation, a binding deadline_ms) must
+        # never enter the fingerprint-keyed cache: a later job with the same
+        # inputs but no such limit would be served the partial UNKNOWN
+        # verdict forever.  Timeouts from the fingerprinted
+        # options.timeout_seconds remain cacheable, as before.
+        deadline_truncated = deadline_ms_binding and result.stats.timed_out
+        if not result.stats.cancelled and not deadline_truncated:
+            self.cache.put(job.fingerprint, result)
+        return result, False, deadline_truncated
+
+    # ------------------------------------------------------------------ sweeper
+
+    def _sweeper_loop(self) -> None:
+        while not self._stop_event.wait(timeout=self.sweep_interval):
+            try:
+                swept = self.store.sweep_expired()
+            except Exception:  # pragma: no cover - store closed mid-shutdown
+                return
+            if swept["jobs"]:
+                self.metrics.increment("jobs_expired", swept["jobs"])
+                self.metrics.increment("results_expired", swept["results"])
 
     # -------------------------------------------------------------------- views
 
-    def submit_payload(self, payload: Any) -> Dict[str, Any]:
-        """Validate a ``POST /jobs`` payload and enqueue one job per property.
+    def submit_payload(self, payload: Any, url_prefix: str = "/v1/jobs") -> Dict[str, Any]:
+        """Validate a ``POST /v1/jobs`` payload and enqueue one job per property.
 
         The payload mirrors the spec-bundle document format (same
         ``schema_version`` rules): a ``system`` section plus either one
-        ``property`` or a list of ``properties``, and optional ``options``
-        and ``label``.  Inputs are canonicalised through the spec codecs, so
+        ``property`` or a list of ``properties``, and optional ``options``,
+        ``label``, ``ttl_seconds`` (expire the job record that long after it
+        finishes) and ``deadline_ms`` (bound the search's wall-clock run
+        time).  Inputs are canonicalised through the spec codecs, so
         fingerprints match jobs built anywhere else (CLI, Python API).
         """
         if not isinstance(payload, Mapping):
@@ -211,7 +321,7 @@ class VerificationServer:
             # Spec files tolerate unknown keys for forward compatibility; an
             # API submission with one is far more likely a typo (silently
             # dropping `timeout` for `timeout_seconds` would run unbounded).
-            unknown = set(options_data) - set(VerifierOptions().as_dict())
+            unknown = set(options_data) - VerifierOptions.known_keys()
             if unknown:
                 raise SpecError(
                     f"unknown verifier option(s): {', '.join(sorted(unknown))}"
@@ -225,6 +335,19 @@ class VerificationServer:
         if label is not None and not isinstance(label, str):
             raise SpecError("'label' must be a string")
 
+        ttl_seconds = payload.get("ttl_seconds")
+        if ttl_seconds is not None:
+            if isinstance(ttl_seconds, bool) or not isinstance(ttl_seconds, (int, float)):
+                raise SpecError("'ttl_seconds' must be a number")
+            if ttl_seconds < 0:
+                raise SpecError("'ttl_seconds' must be non-negative")
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int):
+                raise SpecError("'deadline_ms' must be an integer")
+            if deadline_ms <= 0:
+                raise SpecError("'deadline_ms' must be positive")
+
         jobs = [
             VerificationJob(
                 system_dict=system_dict,
@@ -236,7 +359,9 @@ class VerificationServer:
         ]
         accepted = []
         for job in jobs:
-            stored = self.store.submit(job, label=label)
+            stored = self.store.submit(
+                job, label=label, ttl_seconds=ttl_seconds, deadline_ms=deadline_ms
+            )
             self.metrics.increment("jobs_submitted")
             accepted.append(
                 {
@@ -245,14 +370,19 @@ class VerificationServer:
                     "system": stored.system_name,
                     "property": stored.property_name,
                     "status": stored.status,
-                    "url": f"/jobs/{stored.id}",
+                    "url": f"{url_prefix}/{stored.id}",
+                    "events_url": f"{url_prefix}/{stored.id}/events",
                 }
             )
         self._wakeup.set()
         return {"jobs": accepted}
 
     def job_view(self, job_id: str) -> Optional[Dict[str, Any]]:
-        """The ``GET /jobs/<id>`` body: status, plus the result when done."""
+        """The ``GET /v1/jobs/<id>`` body: status, plus the result when done.
+
+        Cancelled jobs surface their partial ``UNKNOWN`` result (stored on
+        the job row) through the same ``result`` key.
+        """
         stored = self.store.get_job(job_id)
         if stored is None:
             return None
@@ -261,6 +391,56 @@ class VerificationServer:
             # Status polling must not skew the cache-effectiveness counters.
             result = self.store.get_result(stored.fingerprint, count=False)
         return stored.as_dict(result=result)
+
+    def cancel_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The ``DELETE /v1/jobs/<id>`` body: cooperative cancellation.
+
+        Queued jobs become ``cancelled`` immediately; running jobs get their
+        in-process token tripped (the search unwinds at its next loop
+        iteration) and land as ``cancelled`` with partial statistics; already
+        terminal jobs (and repeated DELETEs) are reported unchanged -- the
+        store appends the ``cancel`` event and bumps nothing twice.
+        """
+        outcome = self.store.request_cancel(job_id)
+        if outcome is None:
+            return None
+        disposition, fresh = outcome
+        if disposition == "cancelling":
+            # Idempotent and racing-registration-safe: _process re-checks the
+            # persisted flag after it registers the token.
+            with self._cancel_lock:
+                token = self._cancel_tokens.get(job_id)
+            if token is not None:
+                token.cancel()
+        if fresh:
+            self.metrics.increment("cancel_requests")
+        return {
+            "id": job_id,
+            "status": disposition,
+            "cancelled": fresh,
+            "already_finished": not fresh and disposition in TERMINAL_STATUSES,
+        }
+
+    def events_view(
+        self, job_id: str, cursor: int = 0, limit: int = 500
+    ) -> Optional[Dict[str, Any]]:
+        """The ``GET /v1/jobs/<id>/events`` body: incremental event polling.
+
+        Clients pass back the returned ``cursor`` to receive only newer
+        events; ``terminal`` tells them when to stop polling.
+        """
+        stored = self.store.get_job(job_id)
+        if stored is None:
+            return None
+        events = self.store.events_after(job_id, cursor=cursor, limit=limit)
+        next_cursor = events[-1]["seq"] if events else cursor
+        return {
+            "id": job_id,
+            "status": stored.status,
+            "events": events,
+            "cursor": next_cursor,
+            "terminal": stored.status in TERMINAL_STATUSES,
+        }
 
     def jobs_view(self, status: Optional[str] = None, limit: int = 100) -> Dict[str, Any]:
         return {

@@ -1,16 +1,29 @@
 """HTTP request handlers of the verification server (stdlib ``http.server``).
 
-The API is JSON in, JSON out:
+The API is JSON in, JSON out, versioned under ``/v1``:
 
-========================  =====================================================
-``POST /jobs``            submit a spec payload; enqueues one job per property
-``GET /jobs``             list jobs (``?status=queued|running|done|error``,
-                          ``?limit=N``)
-``GET /jobs/<id>``        one job's status; includes the result (with any
-                          counterexample) once the job is ``done``
-``GET /metrics``          cache hit rates, queue depth, latency percentiles
-``GET /healthz``          liveness probe
-========================  =====================================================
+================================  =============================================
+``POST /v1/jobs``                 submit a spec payload (optionally with
+                                  ``ttl_seconds`` / ``deadline_ms``); enqueues
+                                  one job per property
+``GET /v1/jobs``                  list jobs (``?status=queued|running|done|``
+                                  ``error|cancelled``, ``?limit=N``)
+``GET /v1/jobs/<id>``             one job's status; includes the result (with
+                                  any counterexample) once ``done``, or the
+                                  partial result once ``cancelled``
+``GET /v1/jobs/<id>/events``      incremental progress events
+                                  (``?cursor=N&limit=M``)
+``DELETE /v1/jobs/<id>``          cooperative cancellation of a queued or
+                                  running job
+``GET /v1/metrics``               cache hit rates, queue depth, latency
+                                  percentiles
+``GET /v1/healthz``               liveness probe
+================================  =============================================
+
+The original unversioned routes (``/jobs``, ``/metrics``, ``/healthz``, ...)
+remain as thin shims over the same views: they answer identically but carry a
+``Deprecation: true`` header plus a ``Link: <...>; rel="successor-version"``
+pointing at the ``/v1`` replacement.
 
 Handlers are deliberately thin: they parse the request, call the matching
 view on the owning :class:`~repro.server.app.VerificationServer`, and encode
@@ -24,13 +37,17 @@ import json
 import re
 import sqlite3
 from http.server import BaseHTTPRequestHandler
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs
 
 from repro.has.artifact_system import SpecificationError
 from repro.spec.errors import SpecError
 
+#: The current (only) API version prefix.
+API_PREFIX = "/v1"
+
 _JOB_PATH = re.compile(r"^/jobs/([^/]+)$")
+_EVENTS_PATH = re.compile(r"^/jobs/([^/]+)/events$")
 
 #: Largest accepted request body (spec payloads are text; 16 MiB is generous).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -46,19 +63,33 @@ class ApiHandler(BaseHTTPRequestHandler):
     def app(self):
         return self.server.app  # type: ignore[attr-defined]
 
-    # ------------------------------------------------------------------ routes
+    # ------------------------------------------------------------------ routing
+
+    def _route(self, path: str) -> Tuple[str, bool]:
+        """Strip the version prefix; returns ``(route, deprecated)``.
+
+        Unversioned paths resolve to the same routes but are flagged so the
+        response carries the deprecation headers.
+        """
+        if path == API_PREFIX or path.startswith(API_PREFIX + "/"):
+            return path[len(API_PREFIX):] or "/", False
+        return path, True
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming convention)
         self.app.metrics.increment("requests")
         path, _, query = self.path.partition("?")
+        route, self._deprecated = self._route(path)
         try:
-            if path == "/healthz":
+            if route == "/healthz":
                 return self._send(200, {"status": "ok"})
-            if path == "/metrics":
+            if route == "/metrics":
                 return self._send(200, self.app.metrics_view())
-            if path == "/jobs":
+            if route == "/jobs":
                 return self._list_jobs(parse_qs(query))
-            match = _JOB_PATH.match(path)
+            match = _EVENTS_PATH.match(route)
+            if match:
+                return self._job_events(match.group(1), parse_qs(query))
+            match = _JOB_PATH.match(route)
             if match:
                 view = self.app.job_view(match.group(1))
                 if view is None:
@@ -75,14 +106,16 @@ class ApiHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self.app.metrics.increment("requests")
         path, _, _ = self.path.partition("?")
-        if path != "/jobs":
+        route, self._deprecated = self._route(path)
+        if route != "/jobs":
             # The body was never read; a reused keep-alive connection would
             # misparse it as the next request line.
             self.close_connection = True
             return self._send(404, {"error": f"unknown path {path!r}"})
+        url_prefix = "/jobs" if self._deprecated else f"{API_PREFIX}/jobs"
         try:
             payload = self._read_json_body()
-            response = self.app.submit_payload(payload)
+            response = self.app.submit_payload(payload, url_prefix=url_prefix)
         except _BadRequest as error:
             return self._send(400, {"error": str(error)})
         except (SpecError, SpecificationError, ValueError, TypeError, KeyError) as error:
@@ -93,18 +126,61 @@ class ApiHandler(BaseHTTPRequestHandler):
             return self._send(500, {"error": f"{type(error).__name__}: {error}"})
         self._send(202, response)
 
+    def do_DELETE(self) -> None:  # noqa: N802
+        self.app.metrics.increment("requests")
+        try:
+            if int(self.headers.get("Content-Length", 0) or 0) > 0:
+                # DELETE takes no body; an unread one would be misparsed as
+                # the next request line on a reused keep-alive connection.
+                self.close_connection = True
+        except (TypeError, ValueError):
+            self.close_connection = True
+        path, _, _ = self.path.partition("?")
+        route, self._deprecated = self._route(path)
+        match = _JOB_PATH.match(route)
+        if not match:
+            return self._send(404, {"error": f"unknown path {path!r}"})
+        try:
+            view = self.app.cancel_job(match.group(1))
+            if view is None:
+                return self._send(404, {"error": f"no job with id {match.group(1)!r}"})
+            self._send(202, view)
+        except sqlite3.ProgrammingError:  # pragma: no cover - shutdown race
+            self._send(503, {"error": "server is shutting down"})
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+
     # ----------------------------------------------------------------- helpers
 
     def _list_jobs(self, params: Dict[str, list]) -> None:
         status = params.get("status", [None])[0]
-        try:
-            limit = int(params.get("limit", ["100"])[0])
-        except ValueError:
-            return self._send(400, {"error": "limit must be an integer"})
+        limit = self._int_param(params, "limit", 100)
+        if limit is None:
+            return
         try:
             self._send(200, self.app.jobs_view(status=status, limit=limit))
         except ValueError as error:
             self._send(400, {"error": str(error)})
+
+    def _job_events(self, job_id: str, params: Dict[str, list]) -> None:
+        cursor = self._int_param(params, "cursor", 0)
+        if cursor is None:
+            return
+        limit = self._int_param(params, "limit", 500)
+        if limit is None:
+            return
+        view = self.app.events_view(job_id, cursor=cursor, limit=limit)
+        if view is None:
+            return self._send(404, {"error": f"no job with id {job_id!r}"})
+        self._send(200, view)
+
+    def _int_param(self, params: Dict[str, list], name: str, default: int) -> Optional[int]:
+        """Parse an integer query parameter, sending a 400 on failure."""
+        try:
+            return int(params.get(name, [str(default)])[0])
+        except ValueError:
+            self._send(400, {"error": f"{name} must be an integer"})
+            return None
 
     def _read_json_body(self) -> Any:
         try:
@@ -131,6 +207,12 @@ class ApiHandler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_deprecated", False):
+            # Legacy unversioned route: same behaviour, plus a deprecation
+            # signal and a pointer at the /v1 successor.
+            path, _, _ = self.path.partition("?")
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", f'<{API_PREFIX}{path}>; rel="successor-version"')
         if self.close_connection:
             # Set by error paths that leave the request body unread; tell the
             # client explicitly instead of silently dropping the keep-alive.

@@ -65,6 +65,10 @@ class ServerMetrics:
             "jobs_submitted": 0,
             "jobs_completed": 0,
             "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_expired": 0,
+            "results_expired": 0,
+            "cancel_requests": 0,
             "verifications_run": 0,
             "requests": 0,
         }

@@ -3,12 +3,16 @@
 A server process can die with jobs in every lifecycle state.  On startup the
 server runs :func:`recover` against its :class:`~repro.server.store.JobStore`:
 
-* jobs stuck ``running`` (their worker died mid-verification) go back to
-  ``queued`` and are re-verified -- verification is deterministic and
+* jobs stuck ``running`` whose cancellation was already requested before the
+  crash are finalised as ``cancelled`` -- the user's cancel was accepted, so
+  requeueing them would resurrect work that was explicitly stopped;
+* the remaining ``running`` jobs (their worker died mid-verification) go back
+  to ``queued`` and are re-verified -- verification is deterministic and
   idempotent, so re-running an interrupted job is always safe;
 * ``queued`` jobs simply wait for the restarted workers;
 * ``done`` jobs keep their persisted results, which the read-through cache
-  serves without invoking the verifier again.
+  serves without invoking the verifier again;
+* ``cancelled`` jobs are terminal and stay untouched.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ class RecoveryReport:
     queued: int            # jobs awaiting a worker after recovery
     completed: int         # jobs whose results survived the restart
     errored: int           # jobs that had failed before the restart
+    cancelled: int         # terminal cancelled jobs (incl. those finalised now)
+    cancelled_interrupted: int  # running jobs finalised as cancelled (not requeued)
     results_retained: int  # persisted result rows available to the cache
 
     def as_dict(self) -> Dict[str, int]:
@@ -35,19 +41,24 @@ class RecoveryReport:
             "queued": self.queued,
             "completed": self.completed,
             "errored": self.errored,
+            "cancelled": self.cancelled,
+            "cancelled_interrupted": self.cancelled_interrupted,
             "results_retained": self.results_retained,
         }
 
     def summary(self) -> str:
         return (
             f"recovered store: {self.requeued} interrupted job(s) re-queued, "
+            f"{self.cancelled_interrupted} finalised as cancelled, "
             f"{self.queued} queued, {self.completed} completed, "
-            f"{self.errored} errored, {self.results_retained} result(s) retained"
+            f"{self.errored} errored, {self.cancelled} cancelled, "
+            f"{self.results_retained} result(s) retained"
         )
 
 
 def recover(store: JobStore) -> RecoveryReport:
     """Repair *store* after an unclean shutdown and report what was found."""
+    cancelled_interrupted = store.cancel_interrupted()
     requeued = store.requeue_running()
     counts = store.counts()
     return RecoveryReport(
@@ -55,5 +66,7 @@ def recover(store: JobStore) -> RecoveryReport:
         queued=counts["queued"],
         completed=counts["done"],
         errored=counts["error"],
+        cancelled=counts["cancelled"],
+        cancelled_interrupted=cancelled_interrupted,
         results_retained=store.result_count(),
     )

@@ -4,10 +4,26 @@ Two tables back verification-as-a-service:
 
 * ``jobs`` -- one row per submitted job: the canonical spec payload (system,
   property, options dicts as JSON text), lifecycle status (``queued`` ->
-  ``running`` -> ``done`` | ``error``), timestamps and cache provenance.
+  ``running`` -> ``done`` | ``error`` | ``cancelled``), timestamps, cache
+  provenance, TTL / deadline limits and the cooperative ``cancel_requested``
+  flag.  A ``cancelled`` job may carry a *partial* result (``UNKNOWN`` with
+  the statistics gathered before the stop) in ``partial_json`` -- partial
+  results are deliberately **not** written to ``results``, so they can never
+  be served as cache hits.
 * ``results`` -- serialized :class:`~repro.core.verifier.VerificationResult`
   dicts keyed by job *content fingerprint* (see
   :mod:`repro.spec.fingerprint`), shared by every job with the same inputs.
+* ``events`` -- the per-job progress-event log behind
+  ``GET /v1/jobs/<id>/events``: monotonically increasing ``seq`` per job, so
+  clients poll incrementally with a cursor.
+
+Jobs submitted with ``ttl_seconds`` get an ``expires_at`` stamp when they
+reach a terminal state; :meth:`JobStore.sweep_expired` (driven by the
+server's sweeper thread) deletes expired jobs, their events, and any result
+rows no remaining job references.
+
+Older (PR 2) store files are migrated in place on open: the ``jobs`` table is
+rebuilt with the extended schema and every existing row is preserved.
 
 Both survive process restarts: a restarted server re-queues interrupted
 ``running`` jobs (see :mod:`repro.server.recovery`) and serves previously
@@ -29,40 +45,69 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.verifier import VerificationResult
 from repro.service.cache import ResultCache
 from repro.service.jobs import VerificationJob
 
 #: Lifecycle states of a stored job.
-JOB_STATUSES = ("queued", "running", "done", "error")
+JOB_STATUSES = ("queued", "running", "done", "error", "cancelled")
 
-_SCHEMA = """
+#: States a job can never leave (sweeping and cancellation only apply here).
+TERMINAL_STATUSES = ("done", "error", "cancelled")
+
+_JOBS_DDL = """
 CREATE TABLE IF NOT EXISTS jobs (
-    id            TEXT PRIMARY KEY,
-    fingerprint   TEXT NOT NULL,
-    system_name   TEXT NOT NULL,
-    property_name TEXT NOT NULL,
-    label         TEXT,
-    status        TEXT NOT NULL CHECK (status IN ('queued', 'running', 'done', 'error')),
-    error         TEXT,
-    cache_hit     INTEGER NOT NULL DEFAULT 0,
-    submitted_at  REAL NOT NULL,
-    started_at    REAL,
-    finished_at   REAL,
-    system_json   TEXT NOT NULL,
-    property_json TEXT NOT NULL,
-    options_json  TEXT NOT NULL
-);
+    id               TEXT PRIMARY KEY,
+    fingerprint      TEXT NOT NULL,
+    system_name      TEXT NOT NULL,
+    property_name    TEXT NOT NULL,
+    label            TEXT,
+    status           TEXT NOT NULL
+                     CHECK (status IN ('queued', 'running', 'done', 'error', 'cancelled')),
+    error            TEXT,
+    cache_hit        INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    ttl_seconds      REAL,
+    deadline_ms      INTEGER,
+    expires_at       REAL,
+    submitted_at     REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    partial_json     TEXT,
+    system_json      TEXT NOT NULL,
+    property_json    TEXT NOT NULL,
+    options_json     TEXT NOT NULL
+)
+"""
+
+_SCHEMA = _JOBS_DDL + """;
 CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, submitted_at);
 CREATE INDEX IF NOT EXISTS jobs_by_fingerprint ON jobs (fingerprint);
+CREATE INDEX IF NOT EXISTS jobs_by_expiry ON jobs (expires_at) WHERE expires_at IS NOT NULL;
 CREATE TABLE IF NOT EXISTS results (
     fingerprint TEXT PRIMARY KEY,
     result_json TEXT NOT NULL,
     created_at  REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS events (
+    job_id     TEXT NOT NULL,
+    seq        INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    kind       TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
 """
+
+#: Columns shared by the PR 2 ``jobs`` table and the current one, used to
+#: carry rows across the in-place migration.
+_V1_COLUMNS = (
+    "id, fingerprint, system_name, property_name, label, status, error,"
+    " cache_hit, submitted_at, started_at, finished_at,"
+    " system_json, property_json, options_json"
+)
 
 
 @dataclass
@@ -77,9 +122,14 @@ class StoredJob:
     status: str
     error: Optional[str]
     cache_hit: bool
+    cancel_requested: bool
+    ttl_seconds: Optional[float]
+    deadline_ms: Optional[int]
+    expires_at: Optional[float]
     submitted_at: float
     started_at: Optional[float]
     finished_at: Optional[float]
+    partial_result: Optional[Dict[str, Any]]
     system_dict: Dict[str, Any]
     property_dict: Dict[str, Any]
     options_dict: Dict[str, Any]
@@ -94,7 +144,7 @@ class StoredJob:
         )
 
     def as_dict(self, result: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """The JSON view served by ``GET /jobs/<id>`` (payload omitted)."""
+        """The JSON view served by ``GET /v1/jobs/<id>`` (payload omitted)."""
         data: Dict[str, Any] = {
             "id": self.id,
             "fingerprint": self.fingerprint,
@@ -103,14 +153,24 @@ class StoredJob:
             "label": self.label,
             "status": self.status,
             "cache_hit": self.cache_hit,
+            "cancel_requested": self.cancel_requested,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.ttl_seconds is not None:
+            data["ttl_seconds"] = self.ttl_seconds
+        if self.deadline_ms is not None:
+            data["deadline_ms"] = self.deadline_ms
+        if self.expires_at is not None:
+            data["expires_at"] = self.expires_at
         if self.error is not None:
             data["error"] = self.error
         if result is not None:
             data["result"] = result
+        elif self.partial_result is not None:
+            # A cancelled job's UNKNOWN verdict with its partial statistics.
+            data["result"] = self.partial_result
         return data
 
     @classmethod
@@ -124,9 +184,16 @@ class StoredJob:
             status=row["status"],
             error=row["error"],
             cache_hit=bool(row["cache_hit"]),
+            cancel_requested=bool(row["cancel_requested"]),
+            ttl_seconds=row["ttl_seconds"],
+            deadline_ms=row["deadline_ms"],
+            expires_at=row["expires_at"],
             submitted_at=row["submitted_at"],
             started_at=row["started_at"],
             finished_at=row["finished_at"],
+            partial_result=(
+                json.loads(row["partial_json"]) if row["partial_json"] else None
+            ),
             system_dict=json.loads(row["system_json"]),
             property_dict=json.loads(row["property_json"]),
             options_dict=json.loads(row["options_json"]),
@@ -150,7 +217,42 @@ class JobStore:
         self.store_hits = 0
         self.store_misses = 0
         with self._lock, self._connection:
+            self._migrate_locked()
             self._connection.executescript(_SCHEMA)
+
+    def _migrate_locked(self) -> None:
+        """Rebuild a PR 2 ``jobs`` table in place (new columns, new CHECK).
+
+        DDL commits immediately under sqlite3's legacy transaction handling,
+        so a crash can leave the rename/copy/drop sequence half done.  Every
+        step is therefore idempotent and keyed off the on-disk state: a
+        leftover ``jobs_migrating`` table (crash after the rename) is
+        resumed -- rows are copied with ``INSERT OR IGNORE`` (crash after a
+        partial copy) and the leftover dropped -- so no open can strand rows.
+        """
+        tables = {
+            row[0]
+            for row in self._connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if "jobs_migrating" not in tables:
+            if "jobs" not in tables:
+                return
+            columns = {
+                row[1] for row in self._connection.execute("PRAGMA table_info(jobs)")
+            }
+            if "cancel_requested" in columns:
+                return
+            # SQLite cannot alter a CHECK constraint: rename, then fall
+            # through to the (resumable) recreate-copy-drop below.
+            self._connection.execute("ALTER TABLE jobs RENAME TO jobs_migrating")
+        self._connection.execute(_JOBS_DDL)
+        self._connection.execute(
+            f"INSERT OR IGNORE INTO jobs ({_V1_COLUMNS})"
+            f" SELECT {_V1_COLUMNS} FROM jobs_migrating"
+        )
+        self._connection.execute("DROP TABLE jobs_migrating")
 
     def close(self) -> None:
         with self._lock:
@@ -158,21 +260,36 @@ class JobStore:
 
     # ---------------------------------------------------------------- lifecycle
 
-    def submit(self, job: VerificationJob, label: Optional[str] = None) -> StoredJob:
-        """Persist *job* as ``queued`` and return its stored form (with id)."""
+    def submit(
+        self,
+        job: VerificationJob,
+        label: Optional[str] = None,
+        ttl_seconds: Optional[float] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> StoredJob:
+        """Persist *job* as ``queued`` and return its stored form (with id).
+
+        ``ttl_seconds`` schedules the job row (and, transitively, any result
+        no other job references) for deletion that long after it reaches a
+        terminal state; ``deadline_ms`` bounds the wall-clock time the search
+        may run once claimed.
+        """
         job_id = uuid.uuid4().hex[:12]
         now = time.time()
         with self._lock, self._connection:
             self._connection.execute(
                 "INSERT INTO jobs (id, fingerprint, system_name, property_name, label,"
-                " status, cache_hit, submitted_at, system_json, property_json, options_json)"
-                " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?)",
+                " status, cache_hit, ttl_seconds, deadline_ms, submitted_at,"
+                " system_json, property_json, options_json)"
+                " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?)",
                 (
                     job_id,
                     job.fingerprint,
                     job.system_name,
                     job.property_name,
                     label if label is not None else job.label,
+                    ttl_seconds,
+                    deadline_ms,
                     now,
                     json.dumps(job.system_dict),
                     json.dumps(job.property_dict),
@@ -206,42 +323,162 @@ class JobStore:
         return self.get_job(row["id"])
 
     def mark_done(
-        self, job_id: str, result: Dict[str, Any], cache_hit: bool = False
+        self,
+        job_id: str,
+        result: Dict[str, Any],
+        cache_hit: bool = False,
+        persist_result: bool = True,
     ) -> None:
-        """Record a finished job and persist its result under the fingerprint."""
+        """Record a finished job and persist its result under the fingerprint.
+
+        ``persist_result=False`` keeps the result on the job row only (like a
+        cancelled job's partial result) -- used for verdicts truncated by
+        job-level limits (``deadline_ms``) that are not part of the content
+        fingerprint, so they can never be served as cache hits to jobs
+        without that limit.
+        """
         with self._lock, self._connection:
             row = self._connection.execute(
                 "SELECT fingerprint FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
             if row is None:
                 raise KeyError(f"no stored job with id {job_id!r}")
-            # The read-through cache usually persisted the result already
-            # (results are deterministic per fingerprint): skip the redundant
-            # serialize-and-write on the hot path.
-            exists = self._connection.execute(
-                "SELECT 1 FROM results WHERE fingerprint = ?", (row["fingerprint"],)
-            ).fetchone()
-            if exists is None:
-                self._put_result_locked(row["fingerprint"], result)
+            partial_json = None
+            if persist_result:
+                # The read-through cache usually persisted the result already
+                # (results are deterministic per fingerprint): skip the
+                # redundant serialize-and-write on the hot path.
+                exists = self._connection.execute(
+                    "SELECT 1 FROM results WHERE fingerprint = ?", (row["fingerprint"],)
+                ).fetchone()
+                if exists is None:
+                    self._put_result_locked(row["fingerprint"], result)
+            else:
+                partial_json = json.dumps(result)
+            now = time.time()
             self._connection.execute(
                 "UPDATE jobs SET status = 'done', cache_hit = ?, finished_at = ?,"
+                " partial_json = ?,"
+                " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
+                "   THEN ? + ttl_seconds ELSE NULL END,"
                 " error = NULL WHERE id = ?",
-                (1 if cache_hit else 0, time.time(), job_id),
+                (1 if cache_hit else 0, now, partial_json, now, job_id),
             )
 
     def mark_error(self, job_id: str, message: str) -> None:
         with self._lock, self._connection:
+            now = time.time()
             self._connection.execute(
-                "UPDATE jobs SET status = 'error', error = ?, finished_at = ? WHERE id = ?",
-                (message, time.time(), job_id),
+                "UPDATE jobs SET status = 'error', error = ?, finished_at = ?,"
+                " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
+                "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
+                (message, now, now, job_id),
             )
 
+    def mark_cancelled(
+        self, job_id: str, partial_result: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Land the terminal ``cancelled`` state, keeping any partial result.
+
+        The partial result (an ``UNKNOWN`` verdict with the statistics
+        gathered before the stop) lives on the job row only -- never in the
+        ``results`` table, so it can never satisfy a cache lookup.
+        """
+        with self._lock, self._connection:
+            now = time.time()
+            self._connection.execute(
+                "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
+                " partial_json = ?,"
+                " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
+                "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
+                (
+                    now,
+                    json.dumps(partial_result) if partial_result is not None else None,
+                    now,
+                    job_id,
+                ),
+            )
+
+    def request_cancel(self, job_id: str) -> Optional[Tuple[str, bool]]:
+        """Request cooperative cancellation of a job.
+
+        Returns ``(disposition, fresh)`` -- or ``None`` when no such job
+        exists.  The disposition is the job's *resulting* state:
+        ``"cancelled"`` for a queued job (terminal immediately -- no worker
+        ever sees it), ``"cancelling"`` for a running one (the
+        ``cancel_requested`` flag is persisted; the owning worker's token is
+        tripped by the server), or the unchanged terminal status.  ``fresh``
+        is True only when *this* call changed something, so repeated DELETEs
+        don't inflate metrics or append duplicate events.
+
+        The ``cancel`` event is appended in the same transaction, *before*
+        the status flips terminal: a poller that observes ``terminal`` is
+        guaranteed the event log is already complete.
+        """
+        with self._lock, self._connection:
+            row = self._connection.execute(
+                "SELECT status, cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                return None
+            status = row["status"]
+            if status == "queued":
+                self._append_event_locked(
+                    job_id, "cancel", {"data": {"disposition": "cancelled"}}
+                )
+                now = time.time()
+                self._connection.execute(
+                    "UPDATE jobs SET status = 'cancelled', cancel_requested = 1,"
+                    " finished_at = ?,"
+                    " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
+                    "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
+                    (now, now, job_id),
+                )
+                return "cancelled", True
+            if status == "running":
+                if row["cancel_requested"]:
+                    return "cancelling", False
+                self._append_event_locked(
+                    job_id, "cancel", {"data": {"disposition": "cancelling"}}
+                )
+                self._connection.execute(
+                    "UPDATE jobs SET cancel_requested = 1 WHERE id = ?", (job_id,)
+                )
+                return "cancelling", True
+            return status, False
+
+    def is_cancel_requested(self, job_id: str) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return bool(row and row["cancel_requested"])
+
     def requeue_running(self) -> int:
-        """Re-queue jobs left ``running`` by a dead process; returns the count."""
+        """Re-queue jobs left ``running`` by a dead process; returns the count.
+
+        Interrupted jobs whose cancellation was already requested are *not*
+        requeued: the cancel was accepted before the crash, so they land in
+        the terminal ``cancelled`` state instead (see
+        :meth:`cancel_interrupted`, which recovery runs first).
+        """
         with self._lock, self._connection:
             cursor = self._connection.execute(
                 "UPDATE jobs SET status = 'queued', started_at = NULL"
-                " WHERE status = 'running'"
+                " WHERE status = 'running' AND cancel_requested = 0"
+            )
+            return cursor.rowcount
+
+    def cancel_interrupted(self) -> int:
+        """Finalise ``running`` jobs with a pending cancel as ``cancelled``."""
+        with self._lock, self._connection:
+            now = time.time()
+            cursor = self._connection.execute(
+                "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
+                " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
+                "   THEN ? + ttl_seconds ELSE NULL END"
+                " WHERE status = 'running' AND cancel_requested = 1",
+                (now, now),
             )
             return cursor.rowcount
 
@@ -325,6 +562,94 @@ class JobStore:
     def result_count(self) -> int:
         with self._lock:
             return self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    # ------------------------------------------------------------------- events
+
+    def append_event(self, job_id: str, kind: str, payload: Dict[str, Any]) -> int:
+        """Append one progress event to the job's log; returns its ``seq``.
+
+        Sequence numbers are store-assigned (``MAX(seq) + 1`` under the
+        store lock) so they stay strictly increasing across restarts and
+        re-runs of the same job.
+        """
+        with self._lock, self._connection:
+            return self._append_event_locked(job_id, kind, payload)
+
+    def _append_event_locked(
+        self, job_id: str, kind: str, payload: Dict[str, Any]
+    ) -> int:
+        row = self._connection.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 FROM events WHERE job_id = ?",
+            (job_id,),
+        ).fetchone()
+        seq = row[0]
+        self._connection.execute(
+            "INSERT INTO events (job_id, seq, created_at, kind, payload)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (job_id, seq, time.time(), kind, json.dumps(payload)),
+        )
+        return seq
+
+    def events_after(
+        self, job_id: str, cursor: int = 0, limit: int = 500
+    ) -> List[Dict[str, Any]]:
+        """Events with ``seq > cursor``, oldest first (the polling primitive)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT seq, created_at, kind, payload FROM events"
+                " WHERE job_id = ? AND seq > ? ORDER BY seq LIMIT ?",
+                (job_id, cursor, max(0, limit)),
+            ).fetchall()
+        return [
+            {
+                "seq": row["seq"],
+                "created_at": row["created_at"],
+                "kind": row["kind"],
+                **json.loads(row["payload"]),
+            }
+            for row in rows
+        ]
+
+    def event_count(self, job_id: str) -> int:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT COUNT(*) FROM events WHERE job_id = ?", (job_id,)
+            ).fetchone()[0]
+
+    # ----------------------------------------------------------------- sweeping
+
+    def sweep_expired(self, now: Optional[float] = None) -> Dict[str, int]:
+        """Delete TTL-expired terminal jobs, their events, and orphaned results.
+
+        A result row is deleted only when no remaining job references its
+        fingerprint, so results shared with unexpired (or TTL-less) jobs
+        survive.  Returns ``{"jobs": ..., "events": ..., "results": ...}``
+        deletion counts.
+        """
+        now = time.time() if now is None else now
+        with self._lock, self._connection:
+            expired = [
+                row["id"]
+                for row in self._connection.execute(
+                    "SELECT id FROM jobs WHERE expires_at IS NOT NULL"
+                    " AND expires_at <= ? AND status IN ('done', 'error', 'cancelled')",
+                    (now,),
+                )
+            ]
+            if not expired:
+                return {"jobs": 0, "events": 0, "results": 0}
+            placeholders = ",".join("?" for _ in expired)
+            events = self._connection.execute(
+                f"DELETE FROM events WHERE job_id IN ({placeholders})", expired
+            ).rowcount
+            self._connection.execute(
+                f"DELETE FROM jobs WHERE id IN ({placeholders})", expired
+            )
+            results = self._connection.execute(
+                "DELETE FROM results WHERE fingerprint NOT IN"
+                " (SELECT fingerprint FROM jobs)"
+            ).rowcount
+            return {"jobs": len(expired), "events": events, "results": results}
 
     def statistics(self) -> Dict[str, int]:
         return {

@@ -1,0 +1,193 @@
+"""Tests of repro.api.VerificationSession (satellite: deadline/cancellation
+semantics under in-process execution)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import CancellationToken, SessionState, VerificationSession
+from repro.core.options import VerifierOptions
+from repro.has.conditions import Const, Eq, Neq, Var
+from repro.ltl import LTLFOProperty, parse_ltl
+
+
+def _safety_property(name="never-shipped"):
+    return LTLFOProperty(
+        "Main", parse_ltl("G ns"), {"ns": Neq(Var("status"), Const("shipped"))}, name=name
+    )
+
+
+def _exploding_property():
+    """Satisfied on the exploding system, so the search must exhaust it."""
+    return LTLFOProperty(
+        "Main",
+        parse_ltl("G !(p & q)"),
+        {"p": Eq(Var("v0"), Const("c0")), "q": Eq(Var("v0"), Const("c1"))},
+        name="consistent",
+    )
+
+
+class TestBlockingRun:
+    def test_run_returns_result_and_buffers_events(self, tiny_system):
+        session = VerificationSession(
+            tiny_system, _safety_property(), VerifierOptions(timeout_seconds=30),
+            progress_interval=1,
+        )
+        result = session.run()
+        assert result.violated
+        assert session.state is SessionState.DONE
+        assert session.result() is result
+        kinds = [event.kind for event in session.events()]
+        assert kinds[0] == "phase"
+        assert "progress" in kinds
+        assert kinds[-2:] == ["stats", "done"]
+        done = session.events()[-1]
+        assert done.data["outcome"] == "violated"
+
+    def test_events_after_cursor(self, tiny_system):
+        session = VerificationSession(
+            tiny_system, _safety_property(), VerifierOptions(timeout_seconds=30),
+            progress_interval=1,
+        )
+        session.run()
+        everything = session.events()
+        tail = session.events_after(everything[2].seq)
+        assert [e.seq for e in tail] == [e.seq for e in everything[3:]]
+
+    def test_session_is_single_use(self, tiny_system):
+        session = VerificationSession(tiny_system, _safety_property())
+        session.run()
+        with pytest.raises(RuntimeError, match="already"):
+            session.run()
+        with pytest.raises(RuntimeError, match="already"):
+            session.start()
+
+    def test_forwarded_sink_sees_every_event(self, tiny_system):
+        forwarded = []
+        session = VerificationSession(
+            tiny_system, _safety_property(), VerifierOptions(timeout_seconds=30),
+            event_sink=forwarded.append, progress_interval=1,
+        )
+        session.run()
+        assert [e.seq for e in forwarded] == [e.seq for e in session.events()]
+
+    def test_error_is_raised_and_recorded(self, tiny_system):
+        bad = LTLFOProperty(
+            "NoSuchTask", parse_ltl("G p"), {"p": Eq(Var("status"), Const("x"))}, name="bad"
+        )
+        session = VerificationSession(tiny_system, bad)
+        with pytest.raises(ValueError, match="unknown task"):
+            session.run()
+        assert session.state is SessionState.ERROR
+        with pytest.raises(ValueError, match="unknown task"):
+            session.result()
+
+
+class TestCancellation:
+    def test_cancel_mid_search_returns_unknown_with_partial_stats(self, exploding_system):
+        """A deliberately state-exploding system, cancelled mid-search."""
+        session = VerificationSession(
+            exploding_system, _exploding_property(),
+            VerifierOptions(max_states=500_000), progress_interval=20,
+        ).start()
+        # Wait for evidence the search is actually exploring, then cancel.
+        deadline = time.monotonic() + 30
+        while not any(e.kind == "progress" for e in session.events()):
+            assert time.monotonic() < deadline, "search never reported progress"
+            time.sleep(0.01)
+        session.cancel()
+        result = session.result(timeout=30)
+        assert result.unknown
+        assert result.stats.cancelled and not result.stats.timed_out
+        assert result.stats.states_explored >= 20  # partial statistics survive
+        assert session.cancelled
+
+    def test_cancel_before_start_stops_immediately(self, exploding_system):
+        token = CancellationToken()
+        token.cancel()
+        session = VerificationSession(
+            exploding_system, _exploding_property(),
+            VerifierOptions(max_states=500_000), token=token,
+        )
+        result = session.run()
+        assert result.unknown and result.stats.cancelled
+        # Only the initial states were materialised before the first check.
+        assert result.stats.states_explored <= 5
+
+    def test_deadline_returns_unknown_timed_out(self, exploding_system):
+        session = VerificationSession(
+            exploding_system, _exploding_property(),
+            VerifierOptions(max_states=500_000), deadline_seconds=0.3,
+        )
+        result = session.run()
+        assert result.unknown
+        assert result.stats.timed_out and not result.stats.cancelled
+
+    def test_options_timeout_still_applies(self, exploding_system):
+        """options.timeout_seconds folds into the control deadline."""
+        session = VerificationSession(
+            exploding_system, _exploding_property(),
+            VerifierOptions(max_states=500_000, timeout_seconds=0.3),
+        )
+        result = session.run()
+        assert result.unknown and result.stats.timed_out
+
+    def test_options_timeout_is_scoped_per_verify(self, exploding_system):
+        """A reusable caller control must not inherit an earlier verify's
+        timeout: each call gets the full budget."""
+        from repro.api import SearchControl
+        from repro.core.verifier import Verifier
+
+        control = SearchControl()
+        verifier = Verifier(
+            exploding_system, VerifierOptions(max_states=500_000, timeout_seconds=0.3)
+        )
+        first = verifier.verify(_exploding_property(), control)
+        assert first.unknown and first.stats.timed_out
+        # The shared token was not permanently tightened by the run.
+        assert control.token.deadline is None
+        assert control.stop_reason() is None
+
+    def test_result_timeout_raises(self, exploding_system):
+        session = VerificationSession(
+            exploding_system, _exploding_property(),
+            VerifierOptions(max_states=500_000),
+        ).start()
+        with pytest.raises(TimeoutError):
+            session.result(timeout=0.05)
+        session.cancel()
+        assert session.result(timeout=30).unknown
+
+
+class TestIterEvents:
+    def test_iter_events_streams_until_done(self, tiny_system):
+        session = VerificationSession(
+            tiny_system, _safety_property(), VerifierOptions(timeout_seconds=30),
+            progress_interval=1,
+        )
+        seen = []
+        consumer_done = threading.Event()
+
+        def consume():
+            for event in session.iter_events(poll_timeout=5.0):
+                seen.append(event)
+            consumer_done.set()
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        session.run()
+        assert consumer_done.wait(timeout=10)
+        assert [e.seq for e in seen] == [e.seq for e in session.events()]
+        assert seen[-1].kind == "done"
+
+    def test_iter_events_after_completion_replays_buffer(self, tiny_system):
+        session = VerificationSession(
+            tiny_system, _safety_property(), VerifierOptions(timeout_seconds=30),
+            progress_interval=1,
+        )
+        session.run()
+        replayed = list(session.iter_events())
+        assert [e.seq for e in replayed] == [e.seq for e in session.events()]

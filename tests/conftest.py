@@ -59,6 +59,32 @@ def tiny_system(items_schema: DatabaseSchema):
     return builder.build()
 
 
+def build_exploding_system(variables: int = 12, constants: int = 6):
+    """A single-task system whose symbolic state space takes many seconds to
+    exhaust (used by cancellation / deadline tests: big enough that a search
+    is reliably still running when a cancel or deadline lands, yet each loop
+    iteration — the cancellation granularity — stays in the milliseconds)."""
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder("exploding", schema)
+    task = builder.task("Main")
+    task.id_variable("item", "ITEMS")
+    for index in range(variables):
+        task.variable(f"v{index}")
+        for j in range(constants):
+            constant = f"c{j}"
+            task.internal_service(
+                f"set_{index}_{constant}",
+                pre=Neq(Var(f"v{index}"), Const(constant)),
+                post=Eq(Var(f"v{index}"), Const(constant)),
+            )
+    return builder.build()
+
+
+@pytest.fixture
+def exploding_system():
+    return build_exploding_system()
+
+
 @pytest.fixture
 def relation_system(items_schema: DatabaseSchema):
     """A single-task system exercising artifact-relation insert / retrieve."""

@@ -215,7 +215,8 @@ class TestApi:
         assert metrics["job_latency"]["p99_seconds"] >= metrics["job_latency"]["p50_seconds"]
         assert 0.0 <= metrics["cache"]["hit_rate"] <= 1.0 or metrics["cache"]["hit_rate"] is None
         assert metrics["recovery"] == {
-            "requeued": 0, "queued": 0, "completed": 0, "errored": 0, "results_retained": 0,
+            "requeued": 0, "queued": 0, "completed": 0, "errored": 0,
+            "cancelled": 0, "cancelled_interrupted": 0, "results_retained": 0,
         }
 
 

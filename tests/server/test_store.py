@@ -163,11 +163,15 @@ class TestQueries:
             store.list_jobs(status="finished")
 
     def test_counts_cover_every_status(self, store, sample_jobs):
-        assert store.counts() == {"queued": 0, "running": 0, "done": 0, "error": 0}
+        assert store.counts() == {
+            "queued": 0, "running": 0, "done": 0, "error": 0, "cancelled": 0,
+        }
         store.submit(sample_jobs[0])
         store.submit(sample_jobs[1])
         store.claim_next()
-        assert store.counts() == {"queued": 1, "running": 1, "done": 0, "error": 0}
+        assert store.counts() == {
+            "queued": 1, "running": 1, "done": 0, "error": 0, "cancelled": 0,
+        }
 
     def test_get_result_counts_only_when_asked(self, store):
         store.put_result("fp", _result().as_dict())
