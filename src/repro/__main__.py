@@ -4,4 +4,10 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# The __main__ guard matters here: spawn-based worker processes re-execute
+# the parent's main module when the server is launched by file path
+# (`python src/repro/__main__.py serve`); without the guard every child
+# would start its own server.  (`python -m repro` is exempt -- spawn skips
+# `*.__main__` modules -- but the path form must be safe too.)
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.core.control import (
     CancellationToken,
@@ -62,10 +62,17 @@ class VerificationSession:
         token: Optional[CancellationToken] = None,
         event_sink: Optional[EventSink] = None,
         progress_interval: int = 250,
+        cancel_poll: Optional[Callable[[], bool]] = None,
     ):
+        """``cancel_poll`` (ignored when an explicit *token* is passed) is an
+        external pollable cancellation backend -- e.g. a
+        ``multiprocessing.Event().is_set`` shared with another process --
+        consulted cooperatively on every search-loop iteration."""
         self._verifier = Verifier(system, options)
         self._property = ltl_property
-        self.token = token if token is not None else CancellationToken()
+        self.token = (
+            token if token is not None else CancellationToken(external=cancel_poll)
+        )
         self.token.tighten_deadline(deadline_seconds)
         self._forward = event_sink
         self.control = SearchControl(

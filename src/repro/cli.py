@@ -16,7 +16,8 @@ Examples::
     # Same, but on a remote verification server (the /v1 API):
     python -m repro batch specs/*.spec.json --remote http://127.0.0.1:8080
 
-    # Run the verification server (HTTP JSON API over a persistent store):
+    # Run the verification server (HTTP JSON API over a persistent store,
+    # multi-process workers by default; --worker-model thread to opt out):
     python -m repro serve --port 8080 --workers 4 --store jobs.db
 """
 
@@ -218,6 +219,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             default_options=_options_from(args),
             quiet=args.quiet,
+            worker_model=args.worker_model,
+            max_jobs_per_worker=args.max_jobs_per_worker,
         )
     except sqlite3.Error as error:
         print(f"error: cannot open job store {args.store!r}: {error}", file=sys.stderr)
@@ -230,6 +233,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot listen on {args.host}:{args.port}: {error}", file=sys.stderr)
         server.stop()
         return 2
+    if server.worker_fallback_error is not None:
+        print(
+            f"  warning: process workers unavailable ({server.worker_fallback_error}); "
+            "running thread workers instead",
+            flush=True,
+        )
+    print(f"  {server.worker_model} worker model", flush=True)
     print(f"  listening on {server.url} (Ctrl-C to stop)", flush=True)
     server.serve_forever()  # blocks; Ctrl-C stops gracefully
     print("shut down (queued jobs stay persisted)")
@@ -299,7 +309,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080, metavar="PORT",
                        help="listen port (0 picks a free port; default: 8080)")
     serve.add_argument("--workers", type=int, default=2, metavar="N",
-                       help="verification worker threads (default: 2)")
+                       help="verification workers (default: 2)")
+    serve.add_argument(
+        "--worker-model", choices=("thread", "process"), default="process",
+        help="process: one OS process per worker -- CPU-bound searches run truly in"
+             " parallel, with cross-process cancellation, crash requeue and recycling;"
+             " thread: in-process workers sharing the GIL.  process degrades to"
+             " thread automatically in sandboxes that cannot spawn (default: process)",
+    )
+    serve.add_argument(
+        "--max-jobs-per-worker", type=int, default=32, metavar="K",
+        help="recycle a worker process after K jobs (process model; default: 32)",
+    )
     serve.add_argument("--store", default="repro-jobs.db", metavar="PATH",
                        help="SQLite job/result store (default: repro-jobs.db)")
     serve.add_argument("--quiet", action="store_true",

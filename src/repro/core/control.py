@@ -41,16 +41,26 @@ class CancellationToken:
     while its own deadline stays private -- this is how a per-``verify``
     ``timeout_seconds`` coexists with a long-lived session token without
     permanently tightening it.
+
+    A token may also carry an *external* pollable backend: any zero-argument
+    callable returning truthy once cancellation is requested (for example a
+    ``multiprocessing.Event().is_set``, or a closure polling a persistent
+    store's ``cancel_requested`` flag).  The backend is consulted on every
+    :attr:`cancelled` check, which the search loops already perform once per
+    iteration -- this is how a cancel crosses a process boundary without the
+    requester holding a reference to the in-process token.
     """
 
     def __init__(
         self,
         deadline: Optional[float] = None,
         parent: Optional["CancellationToken"] = None,
+        external: Optional[Callable[[], bool]] = None,
     ):
         #: Absolute ``time.monotonic()`` deadline, or ``None`` for no deadline.
         self._deadline = deadline
         self._parent = parent
+        self._external = external
         self._cancelled = threading.Event()
 
     @classmethod
@@ -66,11 +76,16 @@ class CancellationToken:
 
     @property
     def cancelled(self) -> bool:
-        """Whether :meth:`cancel` was called here or on an ancestor
-        (deadline expiry not included)."""
-        return self._cancelled.is_set() or (
-            self._parent is not None and self._parent.cancelled
-        )
+        """Whether :meth:`cancel` was called here or on an ancestor, or the
+        external pollable backend fired (deadline expiry not included)."""
+        if self._cancelled.is_set():
+            return True
+        if self._external is not None and self._external():
+            # Latch it: external backends may be expensive to poll (a store
+            # query) or may be torn down while the search unwinds.
+            self._cancelled.set()
+            return True
+        return self._parent is not None and self._parent.cancelled
 
     @property
     def deadline(self) -> Optional[float]:

@@ -26,7 +26,7 @@ headers -- documented in ``README.md`` and :mod:`repro.server.handlers`.
 """
 
 from repro.server.app import VerificationServer
-from repro.server.metrics import LatencyTracker, ServerMetrics
+from repro.server.metrics import LatencyTracker, ServerMetrics, WorkerGauges
 from repro.server.recovery import RecoveryReport, recover
 from repro.server.store import (
     JOB_STATUSES,
@@ -35,16 +35,20 @@ from repro.server.store import (
     StoreBackedCache,
     StoredJob,
 )
+from repro.server.workers import ProcessWorkerAgent, probe_process_support
 
 __all__ = [
     "JOB_STATUSES",
     "JobStore",
     "LatencyTracker",
+    "ProcessWorkerAgent",
     "RecoveryReport",
     "ServerMetrics",
     "StoreBackedCache",
     "StoredJob",
     "TERMINAL_STATUSES",
     "VerificationServer",
+    "WorkerGauges",
+    "probe_process_support",
     "recover",
 ]

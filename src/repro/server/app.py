@@ -1,4 +1,4 @@
-"""The verification server: HTTP API + worker threads over a persistent store.
+"""The verification server: HTTP API + a worker pool over a persistent store.
 
 A :class:`VerificationServer` owns
 
@@ -7,7 +7,14 @@ A :class:`VerificationServer` owns
 * a :class:`~repro.server.store.StoreBackedCache` (in-memory LRU read-through
   over the store) plugged into a
   :class:`~repro.service.engine.VerificationService`,
-* worker threads that claim queued jobs and verify them, and
+* a worker pool that claims queued jobs and verifies them -- either
+  **thread** workers (in-process, GIL-shared; always available) or
+  **process** workers (:mod:`repro.server.workers`: one long-lived OS
+  process per slot, truly parallel CPU-bound searches, cross-process
+  cancellation, crash requeue and recycling).  ``worker_model="process"``
+  degrades to threads automatically when the sandbox cannot spawn
+  processes, mirroring :mod:`repro.service.engine`'s ``BrokenProcessPool``
+  fallback, and
 * a :class:`~http.server.ThreadingHTTPServer` running
   :class:`~repro.server.handlers.ApiHandler`.
 
@@ -30,7 +37,7 @@ import os
 import threading
 import time
 from http.server import ThreadingHTTPServer
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.control import CancellationToken, SearchControl
 from repro.core.options import VerifierOptions
@@ -43,6 +50,12 @@ from repro.server.store import (
     JobStore,
     StoreBackedCache,
     StoredJob,
+)
+from repro.server.workers import (
+    ProcessWorkerAgent,
+    deadline_ms_binding,
+    pool_snapshot,
+    probe_process_support,
 )
 from repro.service.cache import ResultCache
 from repro.service.engine import VerificationService
@@ -76,11 +89,33 @@ class VerificationServer:
         quiet: bool = True,
         sweep_interval: float = 2.0,
         progress_interval: int = 500,
+        worker_model: str = "thread",
+        max_jobs_per_worker: int = 32,
+        heartbeat_interval: float = 1.0,
+        stale_heartbeat_seconds: float = 15.0,
     ):
+        if worker_model not in ("thread", "process"):
+            raise ValueError(
+                f"worker_model must be 'thread' or 'process', got {worker_model!r}"
+            )
         self.host = host
         self.port = port
         self.quiet = quiet
         self.workers = max(0, workers)
+        #: The worker model requested at construction ("thread" | "process").
+        self.requested_worker_model = worker_model
+        #: The model actually running (may degrade to "thread" at start()).
+        self.worker_model = worker_model
+        #: Why a requested process pool degraded to threads (None otherwise).
+        self.worker_fallback_error: Optional[str] = None
+        #: Recycle a worker process after this many dispatched jobs.
+        self.max_jobs_per_worker = max(1, max_jobs_per_worker)
+        #: How often (seconds) a process-worker agent refreshes its job's
+        #: store heartbeat while the child searches.
+        self.heartbeat_interval = heartbeat_interval
+        #: Heartbeat age past which the sweeper requeues a running job whose
+        #: (process-model) owner is presumed dead.
+        self.stale_heartbeat_seconds = stale_heartbeat_seconds
         #: How often (seconds) the sweeper thread expires TTL'd jobs/results.
         self.sweep_interval = sweep_interval
         #: Explored-state interval between persisted ``progress`` events.
@@ -95,20 +130,34 @@ class VerificationServer:
         self._stop_event = threading.Event()
         self._wakeup = threading.Event()
         self._worker_threads: List[threading.Thread] = []
+        self._agents: List[ProcessWorkerAgent] = []
         self._httpd: Optional[_HttpServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self._sweeper_thread: Optional[threading.Thread] = None
-        # Cancellation tokens of jobs currently running on this process's
-        # workers, so `DELETE /v1/jobs/<id>` can trip a live search.
+        # Cancel hooks of jobs currently running on this server's workers,
+        # so `DELETE /v1/jobs/<id>` can trip a live search: a thread job
+        # registers its CancellationToken.cancel, a process job the `set` of
+        # the multiprocessing.Event its child polls.
         self._cancel_lock = threading.Lock()
-        self._cancel_tokens: Dict[str, CancellationToken] = {}
+        self._cancellers: Dict[str, Callable[[], None]] = {}
 
     # ---------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
-        """Bind the HTTP socket (resolving ``port=0``) and start all threads."""
+        """Bind the HTTP socket (resolving ``port=0``) and start the workers.
+
+        A requested ``worker_model="process"`` is probed first (one trivial
+        spawn-and-join); environments that cannot spawn processes degrade to
+        thread workers, recorded in :attr:`worker_fallback_error` and under
+        ``workers.fallback_error`` in ``/metrics``.
+        """
         if self._httpd is not None:
             raise RuntimeError("server already started")
+        if self.worker_model == "process" and self.workers > 0:
+            error = probe_process_support()
+            if error is not None:
+                self.worker_model = "thread"
+                self.worker_fallback_error = error
         self._httpd = _HttpServer((self.host, self.port), ApiHandler)
         self._httpd.app = self  # type: ignore[attr-defined]
         self.port = self._httpd.server_address[1]
@@ -119,12 +168,18 @@ class VerificationServer:
             daemon=True,
         )
         self._http_thread.start()
-        for index in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker_loop, name=f"repro-worker-{index}", daemon=True
-            )
-            thread.start()
-            self._worker_threads.append(thread)
+        if self.worker_model == "process":
+            for index in range(self.workers):
+                agent = ProcessWorkerAgent(self, index)
+                agent.start()
+                self._agents.append(agent)
+        else:
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"repro-worker-{index}", daemon=True
+                )
+                thread.start()
+                self._worker_threads.append(thread)
         self._sweeper_thread = threading.Thread(
             target=self._sweeper_loop, name="repro-sweeper", daemon=True
         )
@@ -143,7 +198,15 @@ class VerificationServer:
             self._sweeper_thread.join(timeout=5)
         for thread in self._worker_threads:
             thread.join(timeout=60)
-        if all(not thread.is_alive() for thread in self._worker_threads):
+        for agent in self._agents:
+            agent.join(timeout=60)
+        for agent in self._agents:
+            if not agent.is_alive():
+                agent.close()  # tear down the (now idle) child process
+        workers_done = all(
+            not thread.is_alive() for thread in self._worker_threads
+        ) and all(not agent.is_alive() for agent in self._agents)
+        if workers_done:
             self.store.close()
         # else: a worker is still mid-verification past the join timeout;
         # leave the store open so its mark_done can land (daemon threads die
@@ -177,21 +240,51 @@ class VerificationServer:
                 continue
             self._process(stored)
 
+    def _register_canceller(self, job_id: str, canceller: Callable[[], None]) -> None:
+        """Register the hook `cancel_job` calls to trip *job_id*'s live search."""
+        with self._cancel_lock:
+            self._cancellers[job_id] = canceller
+
+    def _unregister_canceller(self, job_id: str) -> None:
+        with self._cancel_lock:
+            self._cancellers.pop(job_id, None)
+
+    def _finalize_result(
+        self,
+        stored: StoredJob,
+        result: VerificationResult,
+        cache_hit: bool,
+        deadline_truncated: bool,
+        started: float,
+    ) -> None:
+        """Land a finished job in the store (shared by both worker models).
+
+        A cancelled run lands as terminal ``cancelled`` with its partial
+        statistics (never cached); a ``deadline_ms``-truncated verdict stays
+        on the job row only (``persist_result=False``), mirroring the
+        decision to keep it out of the fingerprint-keyed cache.  A mark that
+        does not land (the job was rescued by the stale-heartbeat sweeper
+        and already reached a terminal state elsewhere) bumps no metrics.
+        """
+        if result.stats.cancelled:
+            if self.store.mark_cancelled(stored.id, result.as_dict()):
+                self.metrics.increment("jobs_cancelled")
+            return
+        if self.store.mark_done(
+            stored.id,
+            result.as_dict(),
+            cache_hit=cache_hit,
+            persist_result=not deadline_truncated,
+        ):
+            self.metrics.increment("jobs_completed")
+            self.metrics.job_latency.observe(time.monotonic() - started)
+
     def _process(self, stored: StoredJob) -> None:
         started = time.monotonic()
         token = CancellationToken()
         if stored.deadline_ms is not None:
             token.tighten_deadline(stored.deadline_ms / 1000.0)
-        # Whether a timeout should be blamed on deadline_ms (a job-level limit
-        # outside the content fingerprint) rather than options.timeout_seconds
-        # (fingerprinted, hence safe to cache): deadline_ms is the binding
-        # limit when it is the sooner of the two.
-        options_timeout = stored.options_dict.get("timeout_seconds")
-        deadline_ms_binding = stored.deadline_ms is not None and (
-            options_timeout is None or stored.deadline_ms / 1000.0 <= options_timeout
-        )
-        with self._cancel_lock:
-            self._cancel_tokens[stored.id] = token
+        self._register_canceller(stored.id, token.cancel)
         try:
             # A cancel accepted between the claim and the registration above
             # only reached the store; fold it into the live token now.
@@ -199,34 +292,18 @@ class VerificationServer:
                 token.cancel()
             try:
                 result, cache_hit, deadline_truncated = self._execute(
-                    stored, token, deadline_ms_binding
+                    stored, token, deadline_ms_binding(stored)
                 )
             except Exception as error:
-                self.store.mark_error(stored.id, f"{type(error).__name__}: {error}")
-                self.metrics.increment("jobs_failed")
+                if self.store.mark_error(stored.id, f"{type(error).__name__}: {error}"):
+                    self.metrics.increment("jobs_failed")
                 return
-            if result.stats.cancelled:
-                # Terminal `cancelled` state with the partial statistics; the
-                # UNKNOWN verdict never enters the result cache.
-                self.store.mark_cancelled(stored.id, result.as_dict())
-                self.metrics.increment("jobs_cancelled")
-                return
-            # A deadline_ms-truncated verdict stays on the job row, exactly
-            # mirroring _execute's decision to keep it out of the cache.
-            self.store.mark_done(
-                stored.id,
-                result.as_dict(),
-                cache_hit=cache_hit,
-                persist_result=not deadline_truncated,
-            )
-            self.metrics.increment("jobs_completed")
-            self.metrics.job_latency.observe(time.monotonic() - started)
+            self._finalize_result(stored, result, cache_hit, deadline_truncated, started)
         finally:
-            with self._cancel_lock:
-                self._cancel_tokens.pop(stored.id, None)
+            self._unregister_canceller(stored.id)
 
     def _execute(
-        self, stored: StoredJob, token: CancellationToken, deadline_ms_binding: bool
+        self, stored: StoredJob, token: CancellationToken, deadline_binding: bool
     ) -> Tuple[VerificationResult, bool, bool]:
         """Run one claimed job: cache lookup, then a cancellable search.
 
@@ -261,7 +338,7 @@ class VerificationServer:
         # inputs but no such limit would be served the partial UNKNOWN
         # verdict forever.  Timeouts from the fingerprinted
         # options.timeout_seconds remain cacheable, as before.
-        deadline_truncated = deadline_ms_binding and result.stats.timed_out
+        deadline_truncated = deadline_binding and result.stats.timed_out
         if not result.stats.cancelled and not deadline_truncated:
             self.cache.put(job.fingerprint, result)
         return result, False, deadline_truncated
@@ -272,6 +349,13 @@ class VerificationServer:
         while not self._stop_event.wait(timeout=self.sweep_interval):
             try:
                 swept = self.store.sweep_expired()
+                if self.worker_model == "process":
+                    # Belt to the agents' braces: rescue jobs whose owning
+                    # agent thread died (its heartbeats stopped).  Thread
+                    # claims carry no heartbeat and are never touched.
+                    stale = self.store.requeue_stale(self.stale_heartbeat_seconds)
+                    if stale:
+                        self._wakeup.set()
             except Exception:  # pragma: no cover - store closed mid-shutdown
                 return
             if swept["jobs"]:
@@ -396,22 +480,31 @@ class VerificationServer:
         """The ``DELETE /v1/jobs/<id>`` body: cooperative cancellation.
 
         Queued jobs become ``cancelled`` immediately; running jobs get their
-        in-process token tripped (the search unwinds at its next loop
-        iteration) and land as ``cancelled`` with partial statistics; already
-        terminal jobs (and repeated DELETEs) are reported unchanged -- the
-        store appends the ``cancel`` event and bumps nothing twice.
+        canceller tripped -- the thread model cancels the in-process token,
+        the process model sets the ``multiprocessing.Event`` the child's
+        token polls, so the search unwinds at its next loop iteration on
+        either side of the process boundary -- and land as ``cancelled``
+        with partial statistics; already terminal jobs (and repeated
+        DELETEs) are reported unchanged -- the store appends the ``cancel``
+        event and bumps nothing twice.
         """
         outcome = self.store.request_cancel(job_id)
         if outcome is None:
             return None
         disposition, fresh = outcome
         if disposition == "cancelling":
-            # Idempotent and racing-registration-safe: _process re-checks the
-            # persisted flag after it registers the token.
+            # Idempotent and racing-registration-safe: both worker models
+            # re-check the persisted flag after registering their canceller.
+            # The canceller is invoked *under* the lock: a process worker's
+            # canceller is its agent's per-child Event.set, and firing a
+            # stale reference after the agent moved on to its next job
+            # would cancel that innocent job (the agent unregisters, then
+            # clears the event, then re-registers -- all serialised against
+            # this lock via register/unregister).
             with self._cancel_lock:
-                token = self._cancel_tokens.get(job_id)
-            if token is not None:
-                token.cancel()
+                canceller = self._cancellers.get(job_id)
+                if canceller is not None:
+                    canceller()
         if fresh:
             self.metrics.increment("cancel_requests")
         return {
@@ -465,6 +558,22 @@ class VerificationServer:
                 "hit_rate": (served_from_cache / lookups) if lookups else None,
             },
             "recovery": self.recovery.as_dict(),
-            "workers": self.workers,
+            "workers": self.workers_view(),
             "store_path": self.store.path,
         }
+
+    def workers_view(self) -> Dict[str, Any]:
+        """The ``workers`` section of ``/metrics``: model + per-worker gauges."""
+        view: Dict[str, Any] = {
+            "count": self.workers,
+            "model": self.worker_model,
+            "requested_model": self.requested_worker_model,
+            "pool": self.metrics.worker_gauges.snapshot(),
+        }
+        if self.worker_model == "process":
+            alive, total = pool_snapshot(self._agents)
+            view["processes_alive"] = alive
+            view["processes_total"] = total
+        if self.worker_fallback_error is not None:
+            view["fallback_error"] = self.worker_fallback_error
+        return view

@@ -7,10 +7,11 @@ unbounded memory growth on a long-running server.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 
 class LatencyTracker:
@@ -32,9 +33,13 @@ class LatencyTracker:
 
     @staticmethod
     def _rank(ordered, fraction: float) -> Optional[float]:
+        # Nearest-rank quantile: the smallest sample with at least a
+        # `fraction` share of the observations at or below it, i.e. index
+        # ceil(f * n) - 1.  (`int(f * n)` is off by one: p50 of [1, 2]
+        # would read 2, biasing every small-sample percentile upward.)
         if not ordered:
             return None
-        return ordered[min(len(ordered) - 1, max(0, int(fraction * len(ordered))))]
+        return ordered[min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))]
 
     def percentile(self, fraction: float) -> Optional[float]:
         """The *fraction*-quantile (nearest-rank) of the window, or ``None``."""
@@ -56,6 +61,51 @@ class LatencyTracker:
         }
 
 
+class WorkerGauges:
+    """Per-worker gauges: one row per worker slot, updated by its owner.
+
+    Process workers report their child pid, busy/idle state, the job
+    currently on the wire, and cumulative jobs / crashes / recycles;
+    thread workers report a subset.  Snapshotted into ``/metrics`` under
+    ``workers.pool``.
+    """
+
+    _DEFAULTS = {
+        "state": "idle",
+        "pid": None,
+        "current_job": None,
+        "jobs_completed": 0,
+        "crashes": 0,
+        "recycles": 0,
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._workers: Dict[str, Dict[str, Any]] = {}
+
+    def update(self, worker_id: str, **fields: Any) -> None:
+        with self._lock:
+            gauge = self._workers.setdefault(
+                worker_id, {"worker_id": worker_id, **self._DEFAULTS}
+            )
+            gauge.update(fields)
+
+    def increment(self, worker_id: str, name: str, amount: int = 1) -> None:
+        with self._lock:
+            gauge = self._workers.setdefault(
+                worker_id, {"worker_id": worker_id, **self._DEFAULTS}
+            )
+            gauge[name] = gauge.get(name, 0) + amount
+
+    def get(self, worker_id: str) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._workers.get(worker_id, {}))
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(self._workers[key]) for key in sorted(self._workers)]
+
+
 class ServerMetrics:
     """Counters + latency tracker, snapshotted by the ``/metrics`` endpoint."""
 
@@ -70,9 +120,12 @@ class ServerMetrics:
             "results_expired": 0,
             "cancel_requests": 0,
             "verifications_run": 0,
+            "worker_crashes": 0,
+            "worker_recycles": 0,
             "requests": 0,
         }
         self.job_latency = LatencyTracker()
+        self.worker_gauges = WorkerGauges()
         self.started_at = time.time()
 
     def increment(self, name: str, amount: int = 1) -> None:

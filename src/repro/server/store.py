@@ -5,8 +5,10 @@ Two tables back verification-as-a-service:
 * ``jobs`` -- one row per submitted job: the canonical spec payload (system,
   property, options dicts as JSON text), lifecycle status (``queued`` ->
   ``running`` -> ``done`` | ``error`` | ``cancelled``), timestamps, cache
-  provenance, TTL / deadline limits and the cooperative ``cancel_requested``
-  flag.  A ``cancelled`` job may carry a *partial* result (``UNKNOWN`` with
+  provenance, TTL / deadline limits, the cooperative ``cancel_requested``
+  flag, and worker-claim bookkeeping (``claimed_by`` + ``heartbeat_at``,
+  kept fresh by process workers so dead ones are detected and their jobs
+  requeued).  A ``cancelled`` job may carry a *partial* result (``UNKNOWN`` with
   the statistics gathered before the stop) in ``partial_json`` -- partial
   results are deliberately **not** written to ``results``, so they can never
   be served as cache hits.
@@ -69,6 +71,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     error            TEXT,
     cache_hit        INTEGER NOT NULL DEFAULT 0,
     cancel_requested INTEGER NOT NULL DEFAULT 0,
+    claimed_by       TEXT,
+    heartbeat_at     REAL,
     ttl_seconds      REAL,
     deadline_ms      INTEGER,
     expires_at       REAL,
@@ -123,6 +127,8 @@ class StoredJob:
     error: Optional[str]
     cache_hit: bool
     cancel_requested: bool
+    claimed_by: Optional[str]
+    heartbeat_at: Optional[float]
     ttl_seconds: Optional[float]
     deadline_ms: Optional[int]
     expires_at: Optional[float]
@@ -154,6 +160,7 @@ class StoredJob:
             "status": self.status,
             "cache_hit": self.cache_hit,
             "cancel_requested": self.cancel_requested,
+            "claimed_by": self.claimed_by,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -185,6 +192,8 @@ class StoredJob:
             error=row["error"],
             cache_hit=bool(row["cache_hit"]),
             cancel_requested=bool(row["cancel_requested"]),
+            claimed_by=row["claimed_by"],
+            heartbeat_at=row["heartbeat_at"],
             ttl_seconds=row["ttl_seconds"],
             deadline_ms=row["deadline_ms"],
             expires_at=row["expires_at"],
@@ -216,9 +225,26 @@ class JobStore:
         self._lock = threading.RLock()
         self.store_hits = 0
         self.store_misses = 0
+        # Wall-clock anchor for the monotonic store clock (see _now): all
+        # in-process time arithmetic (TTL sweeps, heartbeat staleness,
+        # expires_at computation) is immune to wall-clock steps, while the
+        # persisted timestamps stay in the wall epoch for display.
+        self._wall_anchor = time.time()
+        self._mono_anchor = time.monotonic()
         with self._lock, self._connection:
             self._migrate_locked()
             self._connection.executescript(_SCHEMA)
+
+    def _now(self) -> float:
+        """A monotonically advancing clock expressed in the wall epoch.
+
+        ``time.time()`` is sampled once at open; afterwards the store clock
+        advances with ``time.monotonic()``, so an NTP step (or a manual
+        ``date`` change) can neither instantly expire every TTL'd job nor
+        immortalise them, and heartbeat/deadline arithmetic never goes
+        backwards.  Persisted values remain ordinary epoch seconds.
+        """
+        return self._wall_anchor + (time.monotonic() - self._mono_anchor)
 
     def _migrate_locked(self) -> None:
         """Rebuild a PR 2 ``jobs`` table in place (new columns, new CHECK).
@@ -243,6 +269,13 @@ class JobStore:
                 row[1] for row in self._connection.execute("PRAGMA table_info(jobs)")
             }
             if "cancel_requested" in columns:
+                # A PR 3 store only lacks the worker-claim columns, which
+                # need no CHECK change: plain ALTERs suffice.
+                for name, kind in (("claimed_by", "TEXT"), ("heartbeat_at", "REAL")):
+                    if name not in columns:
+                        self._connection.execute(
+                            f"ALTER TABLE jobs ADD COLUMN {name} {kind}"
+                        )
                 return
             # SQLite cannot alter a CHECK constraint: rename, then fall
             # through to the (resumable) recreate-copy-drop below.
@@ -273,40 +306,59 @@ class JobStore:
         no other job references) for deletion that long after it reaches a
         terminal state; ``deadline_ms`` bounds the wall-clock time the search
         may run once claimed.
+
+        Job ids are 12 random hex digits; on the (astronomically rare but
+        not impossible) collision with an existing row, the INSERT is simply
+        retried with a fresh id rather than surfacing an ``IntegrityError``
+        to the submitter.
         """
-        job_id = uuid.uuid4().hex[:12]
-        now = time.time()
+        now = self._now()
         with self._lock, self._connection:
-            self._connection.execute(
-                "INSERT INTO jobs (id, fingerprint, system_name, property_name, label,"
-                " status, cache_hit, ttl_seconds, deadline_ms, submitted_at,"
-                " system_json, property_json, options_json)"
-                " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?)",
-                (
-                    job_id,
-                    job.fingerprint,
-                    job.system_name,
-                    job.property_name,
-                    label if label is not None else job.label,
-                    ttl_seconds,
-                    deadline_ms,
-                    now,
-                    json.dumps(job.system_dict),
-                    json.dumps(job.property_dict),
-                    json.dumps(job.options_dict),
-                ),
-            )
+            for attempt in range(16):
+                job_id = uuid.uuid4().hex[:12]
+                try:
+                    self._connection.execute(
+                        "INSERT INTO jobs (id, fingerprint, system_name, property_name,"
+                        " label, status, cache_hit, ttl_seconds, deadline_ms,"
+                        " submitted_at, system_json, property_json, options_json)"
+                        " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?)",
+                        (
+                            job_id,
+                            job.fingerprint,
+                            job.system_name,
+                            job.property_name,
+                            label if label is not None else job.label,
+                            ttl_seconds,
+                            deadline_ms,
+                            now,
+                            json.dumps(job.system_dict),
+                            json.dumps(job.property_dict),
+                            json.dumps(job.options_dict),
+                        ),
+                    )
+                    break
+                except sqlite3.IntegrityError:
+                    if attempt == 15:  # pragma: no cover - 16 collisions in a row
+                        raise
         stored = self.get_job(job_id)
         assert stored is not None
         return stored
 
-    def claim_next(self) -> Optional[StoredJob]:
+    def claim_next(self, worker_id: Optional[str] = None) -> Optional[StoredJob]:
         """Atomically pop the oldest claimable ``queued`` job, marking it ``running``.
 
         A queued job whose fingerprint is already ``running`` on another
         worker is not claimable yet: claiming it would verify the same
         content twice concurrently.  It stays queued until the in-flight twin
-        finishes, at which point it completes as a cache hit.
+        finishes, at which point it completes as a cache hit (or, when the
+        twin ends uncached -- cancelled, deadline-truncated, crashed -- is
+        claimed and verified in its own right).
+
+        ``worker_id`` records who claimed the job (``claimed_by``) and stamps
+        an initial heartbeat; process-worker claims keep the heartbeat fresh
+        via :meth:`heartbeat` so :meth:`requeue_stale` can detect dead
+        workers.  Claims without a ``worker_id`` (the in-process thread
+        model) never heartbeat and are never considered stale.
         """
         with self._lock, self._connection:
             row = self._connection.execute(
@@ -316,11 +368,80 @@ class JobStore:
             ).fetchone()
             if row is None:
                 return None
+            now = self._now()
             self._connection.execute(
-                "UPDATE jobs SET status = 'running', started_at = ? WHERE id = ?",
-                (time.time(), row["id"]),
+                "UPDATE jobs SET status = 'running', started_at = ?,"
+                " claimed_by = ?, heartbeat_at = ? WHERE id = ?",
+                (now, worker_id, now if worker_id is not None else None, row["id"]),
             )
         return self.get_job(row["id"])
+
+    def heartbeat(self, job_id: str) -> None:
+        """Refresh a running job's liveness stamp (process-worker claims)."""
+        with self._lock, self._connection:
+            self._connection.execute(
+                "UPDATE jobs SET heartbeat_at = ? WHERE id = ? AND status = 'running'",
+                (self._now(), job_id),
+            )
+
+    def release(self, job_id: str) -> bool:
+        """Return one ``running`` job to the queue (its worker died mid-run).
+
+        No-op (returns False) unless the job is currently ``running``; a job
+        whose cancellation was already requested is finalised as
+        ``cancelled`` instead of being resurrected.
+        """
+        with self._lock, self._connection:
+            row = self._connection.execute(
+                "SELECT status, cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None or row["status"] != "running":
+                return False
+            if row["cancel_requested"]:
+                now = self._now()
+                self._connection.execute(
+                    "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
+                    " claimed_by = NULL, heartbeat_at = NULL,"
+                    " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
+                    "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
+                    (now, now, job_id),
+                )
+                return True
+            self._connection.execute(
+                "UPDATE jobs SET status = 'queued', started_at = NULL,"
+                " claimed_by = NULL, heartbeat_at = NULL WHERE id = ?",
+                (job_id,),
+            )
+            return True
+
+    def requeue_stale(self, max_age_seconds: float) -> int:
+        """Re-queue ``running`` jobs whose heartbeat went stale; returns the count.
+
+        Only heartbeat-carrying claims (process workers) are eligible --
+        thread-model claims never heartbeat, so a long thread-run is never
+        mistaken for a dead worker.  Stale jobs with a pending cancel are
+        finalised ``cancelled`` rather than requeued.
+        """
+        cutoff = self._now() - max_age_seconds
+        with self._lock, self._connection:
+            now = self._now()
+            self._connection.execute(
+                "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
+                " claimed_by = NULL, heartbeat_at = NULL,"
+                " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
+                "   THEN ? + ttl_seconds ELSE NULL END"
+                " WHERE status = 'running' AND cancel_requested = 1"
+                " AND heartbeat_at IS NOT NULL AND heartbeat_at <= ?",
+                (now, now, cutoff),
+            )
+            cursor = self._connection.execute(
+                "UPDATE jobs SET status = 'queued', started_at = NULL,"
+                " claimed_by = NULL, heartbeat_at = NULL"
+                " WHERE status = 'running' AND cancel_requested = 0"
+                " AND heartbeat_at IS NOT NULL AND heartbeat_at <= ?",
+                (cutoff,),
+            )
+            return cursor.rowcount
 
     def mark_done(
         self,
@@ -328,7 +449,7 @@ class JobStore:
         result: Dict[str, Any],
         cache_hit: bool = False,
         persist_result: bool = True,
-    ) -> None:
+    ) -> bool:
         """Record a finished job and persist its result under the fingerprint.
 
         ``persist_result=False`` keeps the result on the job row only (like a
@@ -336,6 +457,15 @@ class JobStore:
         job-level limits (``deadline_ms``) that are not part of the content
         fingerprint, so they can never be served as cache hits to jobs
         without that limit.
+
+        Terminal states are never overwritten: if the job already landed
+        ``done``/``error``/``cancelled`` (e.g. a stale-heartbeat rescue
+        requeued it and the rescued copy was cancelled while this worker's
+        result was still in flight), the jobs-row update is skipped and
+        ``False`` is returned.  The computed result itself is still
+        persisted under the fingerprint when eligible -- verification is
+        deterministic, so the verdict is valid regardless of which claim
+        produced it.
         """
         with self._lock, self._connection:
             row = self._connection.execute(
@@ -355,42 +485,50 @@ class JobStore:
                     self._put_result_locked(row["fingerprint"], result)
             else:
                 partial_json = json.dumps(result)
-            now = time.time()
-            self._connection.execute(
+            now = self._now()
+            cursor = self._connection.execute(
                 "UPDATE jobs SET status = 'done', cache_hit = ?, finished_at = ?,"
-                " partial_json = ?,"
+                " partial_json = ?, claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
                 "   THEN ? + ttl_seconds ELSE NULL END,"
-                " error = NULL WHERE id = ?",
+                " error = NULL"
+                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')",
                 (1 if cache_hit else 0, now, partial_json, now, job_id),
             )
+            return cursor.rowcount > 0
 
-    def mark_error(self, job_id: str, message: str) -> None:
+    def mark_error(self, job_id: str, message: str) -> bool:
+        """Land the ``error`` state; no-op (False) on already-terminal jobs."""
         with self._lock, self._connection:
-            now = time.time()
-            self._connection.execute(
+            now = self._now()
+            cursor = self._connection.execute(
                 "UPDATE jobs SET status = 'error', error = ?, finished_at = ?,"
+                " claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
-                "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
+                "   THEN ? + ttl_seconds ELSE NULL END"
+                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')",
                 (message, now, now, job_id),
             )
+            return cursor.rowcount > 0
 
     def mark_cancelled(
         self, job_id: str, partial_result: Optional[Dict[str, Any]] = None
-    ) -> None:
+    ) -> bool:
         """Land the terminal ``cancelled`` state, keeping any partial result.
 
         The partial result (an ``UNKNOWN`` verdict with the statistics
         gathered before the stop) lives on the job row only -- never in the
-        ``results`` table, so it can never satisfy a cache lookup.
+        ``results`` table, so it can never satisfy a cache lookup.  No-op
+        (False) on already-terminal jobs.
         """
         with self._lock, self._connection:
-            now = time.time()
-            self._connection.execute(
+            now = self._now()
+            cursor = self._connection.execute(
                 "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
-                " partial_json = ?,"
+                " partial_json = ?, claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
-                "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
+                "   THEN ? + ttl_seconds ELSE NULL END"
+                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')",
                 (
                     now,
                     json.dumps(partial_result) if partial_result is not None else None,
@@ -398,6 +536,7 @@ class JobStore:
                     job_id,
                 ),
             )
+            return cursor.rowcount > 0
 
     def request_cancel(self, job_id: str) -> Optional[Tuple[str, bool]]:
         """Request cooperative cancellation of a job.
@@ -426,7 +565,7 @@ class JobStore:
                 self._append_event_locked(
                     job_id, "cancel", {"data": {"disposition": "cancelled"}}
                 )
-                now = time.time()
+                now = self._now()
                 self._connection.execute(
                     "UPDATE jobs SET status = 'cancelled', cancel_requested = 1,"
                     " finished_at = ?,"
@@ -464,7 +603,8 @@ class JobStore:
         """
         with self._lock, self._connection:
             cursor = self._connection.execute(
-                "UPDATE jobs SET status = 'queued', started_at = NULL"
+                "UPDATE jobs SET status = 'queued', started_at = NULL,"
+                " claimed_by = NULL, heartbeat_at = NULL"
                 " WHERE status = 'running' AND cancel_requested = 0"
             )
             return cursor.rowcount
@@ -472,9 +612,10 @@ class JobStore:
     def cancel_interrupted(self) -> int:
         """Finalise ``running`` jobs with a pending cancel as ``cancelled``."""
         with self._lock, self._connection:
-            now = time.time()
+            now = self._now()
             cursor = self._connection.execute(
                 "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
+                " claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
                 "   THEN ? + ttl_seconds ELSE NULL END"
                 " WHERE status = 'running' AND cancel_requested = 1",
@@ -556,7 +697,7 @@ class JobStore:
         self._connection.execute(
             "INSERT OR REPLACE INTO results (fingerprint, result_json, created_at)"
             " VALUES (?, ?, ?)",
-            (fingerprint, json.dumps(result), time.time()),
+            (fingerprint, json.dumps(result), self._now()),
         )
 
     def result_count(self) -> int:
@@ -586,7 +727,7 @@ class JobStore:
         self._connection.execute(
             "INSERT INTO events (job_id, seq, created_at, kind, payload)"
             " VALUES (?, ?, ?, ?, ?)",
-            (job_id, seq, time.time(), kind, json.dumps(payload)),
+            (job_id, seq, self._now(), kind, json.dumps(payload)),
         )
         return seq
 
@@ -624,9 +765,11 @@ class JobStore:
         A result row is deleted only when no remaining job references its
         fingerprint, so results shared with unexpired (or TTL-less) jobs
         survive.  Returns ``{"jobs": ..., "events": ..., "results": ...}``
-        deletion counts.
+        deletion counts.  The implicit *now* comes from the store's
+        monotonic clock, so a wall-clock step can neither mass-expire nor
+        immortalise jobs.
         """
-        now = time.time() if now is None else now
+        now = self._now() if now is None else now
         with self._lock, self._connection:
             expired = [
                 row["id"]

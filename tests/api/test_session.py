@@ -105,6 +105,35 @@ class TestCancellation:
         assert result.stats.states_explored >= 20  # partial statistics survive
         assert session.cancelled
 
+    def test_cancel_poll_external_backend_stops_the_search(self, exploding_system):
+        """The pollable backend (`multiprocessing.Event`-shaped): cancellation
+        requested by flipping external state, with no reference to the token."""
+        fired = threading.Event()
+        session = VerificationSession(
+            exploding_system, _exploding_property(),
+            VerifierOptions(max_states=500_000), progress_interval=20,
+            cancel_poll=fired.is_set,
+        ).start()
+        deadline = time.monotonic() + 30
+        while not any(e.kind == "progress" for e in session.events()):
+            assert time.monotonic() < deadline, "search never reported progress"
+            time.sleep(0.01)
+        fired.set()  # no session.cancel(): only the external backend fires
+        result = session.result(timeout=30)
+        assert result.unknown and result.stats.cancelled
+        assert session.cancelled  # the token latched the external cancel
+
+    def test_explicit_token_wins_over_cancel_poll(self, exploding_system):
+        token = CancellationToken()
+        session = VerificationSession(
+            exploding_system, _exploding_property(),
+            VerifierOptions(max_states=500_000),
+            token=token, cancel_poll=lambda: True,  # ignored: token provided
+        )
+        token.cancel()
+        result = session.run()
+        assert result.stats.cancelled
+
     def test_cancel_before_start_stops_immediately(self, exploding_system):
         token = CancellationToken()
         token.cancel()

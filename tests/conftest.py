@@ -17,6 +17,20 @@ from repro.has.conditions import And, Const, Eq, Neq, NULL, Var
 from repro.has.schema import DatabaseSchema
 
 
+@pytest.fixture(scope="session")
+def worker_model() -> str:
+    """Worker model for the server e2e suites (thread by default).
+
+    ``REPRO_TEST_WORKER_MODEL=process`` re-runs them on the multi-process
+    pool -- CI does this on one matrix version -- proving the two models are
+    observationally equivalent through the HTTP API.
+    """
+    model = os.environ.get("REPRO_TEST_WORKER_MODEL", "thread")
+    if model not in ("thread", "process"):
+        raise ValueError(f"REPRO_TEST_WORKER_MODEL must be thread|process, not {model!r}")
+    return model
+
+
 @pytest.fixture
 def items_schema() -> DatabaseSchema:
     """A one-relation schema used by many unit tests."""
@@ -83,6 +97,13 @@ def build_exploding_system(variables: int = 12, constants: int = 6):
 @pytest.fixture
 def exploding_system():
     return build_exploding_system()
+
+
+@pytest.fixture
+def small_exploding_system():
+    """A smaller exploding variant whose search *exhausts* in a few seconds
+    (CPU-bound throughout): sized for timed speedup comparisons."""
+    return build_exploding_system(variables=8, constants=5)
 
 
 @pytest.fixture

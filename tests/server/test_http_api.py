@@ -89,8 +89,10 @@ def _properties(task="Main"):
 
 
 @pytest.fixture
-def server(tmp_path):
-    server = VerificationServer(store_path=tmp_path / "jobs.db", port=0, workers=2)
+def server(tmp_path, worker_model):
+    server = VerificationServer(
+        store_path=tmp_path / "jobs.db", port=0, workers=2, worker_model=worker_model
+    )
     server.start()
     yield server
     server.stop()

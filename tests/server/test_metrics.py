@@ -1,0 +1,92 @@
+"""Tests of server metrics: nearest-rank percentiles and per-worker gauges."""
+
+from __future__ import annotations
+
+from repro.server import LatencyTracker, ServerMetrics, WorkerGauges
+
+
+class TestLatencyPercentiles:
+    """Exact nearest-rank values (the smallest sample with >= f*n mass at
+    or below it, i.e. ordered[ceil(f*n) - 1]), pinning the off-by-one that
+    `int(f * n)` used to introduce."""
+
+    def _filled(self, values):
+        tracker = LatencyTracker()
+        for value in values:
+            tracker.observe(value)
+        return tracker
+
+    def test_p50_of_two_samples_is_the_lower_one(self):
+        # The old `int(0.5 * 2) == 1` picked index 1 -> 2 (biased upward).
+        assert self._filled([1.0, 2.0]).percentile(0.50) == 1.0
+
+    def test_p50_of_an_even_window_is_the_lower_median(self):
+        assert self._filled([1.0, 2.0, 3.0, 4.0]).percentile(0.50) == 2.0
+
+    def test_p50_of_an_odd_window_is_the_median(self):
+        assert self._filled([3.0, 1.0, 2.0]).percentile(0.50) == 2.0
+
+    def test_single_sample_is_every_percentile(self):
+        tracker = self._filled([5.0])
+        assert tracker.percentile(0.50) == 5.0
+        assert tracker.percentile(0.90) == 5.0
+        assert tracker.percentile(0.99) == 5.0
+
+    def test_p90_and_p99_of_ten_samples(self):
+        # ordered = [1..10]: p90 -> ceil(9)-1 = index 8 -> 9; p99 -> index 9 -> 10.
+        tracker = self._filled([float(n) for n in range(10, 0, -1)])
+        assert tracker.percentile(0.90) == 9.0
+        assert tracker.percentile(0.99) == 10.0
+
+    def test_p100_is_the_maximum(self):
+        assert self._filled([1.0, 2.0, 3.0]).percentile(1.0) == 3.0
+
+    def test_p0_is_the_minimum(self):
+        assert self._filled([1.0, 2.0, 3.0]).percentile(0.0) == 1.0
+
+    def test_empty_window_has_no_percentiles(self):
+        tracker = LatencyTracker()
+        assert tracker.percentile(0.5) is None
+        snapshot = tracker.snapshot()
+        assert snapshot["count"] == 0 and snapshot["p50_seconds"] is None
+
+    def test_snapshot_matches_percentile_readouts(self):
+        tracker = self._filled([4.0, 1.0, 3.0, 2.0])
+        snapshot = tracker.snapshot()
+        assert snapshot["p50_seconds"] == tracker.percentile(0.50) == 2.0
+        assert snapshot["p90_seconds"] == tracker.percentile(0.90) == 4.0
+        assert snapshot["mean_seconds"] == 2.5
+
+    def test_window_bounds_the_sample_count(self):
+        tracker = LatencyTracker(window=4)
+        for value in range(100):
+            tracker.observe(float(value))
+        # Only the last 4 observations (96..99) remain in the reservoir.
+        assert tracker.percentile(0.0) == 96.0
+        assert tracker.count == 100  # lifetime counter keeps the full tally
+
+
+class TestWorkerGauges:
+    def test_update_and_increment_round_trip(self):
+        gauges = WorkerGauges()
+        gauges.update("proc-0", state="busy", pid=123, current_job="abc")
+        gauges.increment("proc-0", "jobs_completed")
+        gauges.increment("proc-0", "jobs_completed")
+        gauge = gauges.get("proc-0")
+        assert gauge["state"] == "busy" and gauge["pid"] == 123
+        assert gauge["jobs_completed"] == 2 and gauge["crashes"] == 0
+
+    def test_snapshot_is_sorted_and_detached(self):
+        gauges = WorkerGauges()
+        gauges.update("proc-1", state="idle")
+        gauges.update("proc-0", state="busy")
+        snapshot = gauges.snapshot()
+        assert [g["worker_id"] for g in snapshot] == ["proc-0", "proc-1"]
+        snapshot[0]["state"] = "mutated"
+        assert gauges.get("proc-0")["state"] == "busy"
+
+    def test_server_metrics_carries_worker_gauges(self):
+        metrics = ServerMetrics()
+        metrics.worker_gauges.update("proc-0", state="idle")
+        assert metrics.worker_gauges.snapshot()[0]["worker_id"] == "proc-0"
+        assert metrics.counter("worker_crashes") == 0

@@ -148,6 +148,197 @@ class TestJobLifecycle:
         assert sorted(claimed) == sorted(ids)
 
 
+class TestJobIdCollisions:
+    def test_id_collision_retries_with_a_fresh_id(self, store, sample_jobs, monkeypatch):
+        """A colliding 12-hex id must be retried, not surface as an
+        IntegrityError (an HTTP 500 to the submitter)."""
+        import uuid as uuid_module
+
+        first = store.submit(sample_jobs[0])
+
+        class _Fake:
+            def __init__(self, hex_value):
+                self.hex = hex_value
+
+        # First attempt collides with the existing job, second is fresh.
+        attempts = iter([_Fake(first.id + "f" * 20), _Fake("b" * 32)])
+        monkeypatch.setattr(
+            "repro.server.store.uuid.uuid4", lambda: next(attempts)
+        )
+        second = store.submit(sample_jobs[1])
+        assert second.id == "b" * 12 and second.id != first.id
+        assert store.counts()["queued"] == 2
+
+
+class TestWorkerClaims:
+    def test_claim_records_worker_and_heartbeat(self, store, sample_jobs):
+        store.submit(sample_jobs[0])
+        claimed = store.claim_next(worker_id="proc-0")
+        assert claimed.claimed_by == "proc-0"
+        assert claimed.heartbeat_at is not None
+
+    def test_thread_claims_never_heartbeat(self, store, sample_jobs):
+        store.submit(sample_jobs[0])
+        claimed = store.claim_next()
+        assert claimed.claimed_by is None and claimed.heartbeat_at is None
+        # ... and are therefore never considered stale, however old.
+        assert store.requeue_stale(0.0) == 0
+        assert store.get_job(claimed.id).status == "running"
+
+    def test_heartbeat_refreshes_the_stamp(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        before = store.get_job(stored.id).heartbeat_at
+        store.heartbeat(stored.id)
+        assert store.get_job(stored.id).heartbeat_at >= before
+
+    def test_requeue_stale_rescues_dead_worker_jobs(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.requeue_stale(3600.0) == 0  # heartbeat still fresh
+        assert store.requeue_stale(0.0) == 1     # anything counts as stale
+        requeued = store.get_job(stored.id)
+        assert requeued.status == "queued"
+        assert requeued.claimed_by is None and requeued.heartbeat_at is None
+
+    def test_requeue_stale_finalises_cancel_requested_jobs(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.request_cancel(stored.id) == ("cancelling", True)
+        assert store.requeue_stale(0.0) == 0  # not requeued: cancelled instead
+        assert store.get_job(stored.id).status == "cancelled"
+
+    def test_release_requeues_a_running_job(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.release(stored.id) is True
+        released = store.get_job(stored.id)
+        assert released.status == "queued" and released.started_at is None
+        assert released.claimed_by is None
+
+    def test_release_honours_a_pending_cancel(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        store.request_cancel(stored.id)
+        assert store.release(stored.id) is True
+        assert store.get_job(stored.id).status == "cancelled"
+
+    def test_release_is_a_no_op_off_running(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        assert store.release(stored.id) is False   # still queued
+        assert store.release("missing") is False
+        store.claim_next()
+        store.mark_done(stored.id, _result().as_dict())
+        assert store.release(stored.id) is False   # terminal
+        assert store.get_job(stored.id).status == "done"
+
+    def test_zombie_finalizer_cannot_overwrite_a_terminal_state(
+        self, store, sample_jobs
+    ):
+        """A worker whose job was rescued by the stale-heartbeat sweeper may
+        finish late; its mark must not overwrite the rescued copy's terminal
+        state (e.g. flip `cancelled` back to `done`)."""
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.requeue_stale(0.0) == 1          # sweeper rescues the job
+        store.request_cancel(stored.id)               # user cancels the rescued copy
+        assert store.get_job(stored.id).status == "cancelled"
+        # The zombie worker's verdict arrives afterwards: rejected.
+        assert store.mark_done(stored.id, _result().as_dict()) is False
+        assert store.mark_error(stored.id, "late failure") is False
+        assert store.mark_cancelled(stored.id, None) is False
+        assert store.get_job(stored.id).status == "cancelled"
+        # A live mark on a running job still returns True.
+        other = store.submit(sample_jobs[1])
+        store.claim_next()
+        assert store.mark_done(other.id, _result().as_dict()) is True
+
+    def test_terminal_transitions_clear_the_claim(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        store.mark_done(stored.id, _result().as_dict())
+        finished = store.get_job(stored.id)
+        assert finished.claimed_by is None and finished.heartbeat_at is None
+
+
+class TestMonotonicClock:
+    """TTL / staleness arithmetic must survive wall-clock steps: the store
+    clock is anchored once and advances with time.monotonic()."""
+
+    def test_backward_wall_clock_step_cannot_immortalise_jobs(
+        self, store, sample_jobs, monkeypatch
+    ):
+        import time as time_module
+
+        stored = store.submit(sample_jobs[0], ttl_seconds=0.0)
+        store.claim_next()
+        store.mark_done(stored.id, _result().as_dict())
+        # An NTP step pulls wall time a day into the past *after* the job
+        # finished; the expiry comparison must not be pushed a day out.
+        real_time = time_module.time
+        monkeypatch.setattr(time_module, "time", lambda: real_time() - 86_400)
+        assert store.sweep_expired()["jobs"] == 1
+
+    def test_forward_wall_clock_step_cannot_mass_expire_jobs(
+        self, store, sample_jobs, monkeypatch
+    ):
+        import time as time_module
+
+        stored = store.submit(sample_jobs[0], ttl_seconds=3600.0)
+        store.claim_next()
+        store.mark_done(stored.id, _result().as_dict())
+        real_time = time_module.time
+        monkeypatch.setattr(time_module, "time", lambda: real_time() + 86_400)
+        assert store.sweep_expired()["jobs"] == 0
+        assert store.get_job(stored.id).status == "done"
+
+    def test_store_clock_tracks_the_wall_epoch(self, store):
+        import time as time_module
+
+        assert abs(store._now() - time_module.time()) < 5.0
+
+
+class TestFingerprintDedupCorners:
+    """A queued twin of a running job is deferred, but must be re-claimed
+    and verified in its own right when the twin ends uncached (cancelled,
+    deadline-partial, or its worker died)."""
+
+    def test_queued_twin_is_claimable_after_twin_is_cancelled(self, store, sample_jobs):
+        running = store.submit(sample_jobs[0])
+        twin = store.submit(sample_jobs[0])
+        assert store.claim_next(worker_id="proc-0").id == running.id
+        assert store.claim_next(worker_id="proc-1") is None  # deferred
+        store.request_cancel(running.id)
+        store.mark_cancelled(running.id, None)
+        # The cancelled twin produced no cached result: the queued twin must
+        # not wedge -- it is claimed and verified like any other job.
+        reclaimed = store.claim_next(worker_id="proc-1")
+        assert reclaimed is not None and reclaimed.id == twin.id
+
+    def test_queued_twin_is_claimable_after_deadline_partial_twin(
+        self, store, sample_jobs
+    ):
+        running = store.submit(sample_jobs[0], deadline_ms=1)
+        twin = store.submit(sample_jobs[0])
+        assert store.claim_next().id == running.id
+        # Deadline-truncated verdicts stay off the results table.
+        store.mark_done(running.id, _result().as_dict(), persist_result=False)
+        assert not store.has_result(running.fingerprint)
+        reclaimed = store.claim_next()
+        assert reclaimed is not None and reclaimed.id == twin.id
+
+    def test_queued_twin_is_claimable_after_worker_death(self, store, sample_jobs):
+        crashed = store.submit(sample_jobs[0])
+        twin = store.submit(sample_jobs[0])
+        assert store.claim_next(worker_id="proc-0").id == crashed.id
+        store.release(crashed.id)  # the worker died; recovery path
+        # FIFO: the released original comes back first, the twin after it.
+        assert store.claim_next(worker_id="proc-1").id == crashed.id
+        assert store.claim_next(worker_id="proc-2") is None
+        store.mark_cancelled(crashed.id, None)
+        assert store.claim_next(worker_id="proc-2").id == twin.id
+
+
 class TestQueries:
     def test_list_jobs_filters_and_limits(self, store, sample_jobs):
         for _ in range(3):

@@ -56,10 +56,10 @@ def _raw(url: str, method: str = "GET", payload=None):
 
 
 @pytest.fixture
-def server(tmp_path):
+def server(tmp_path, worker_model):
     server = VerificationServer(
         store_path=tmp_path / "jobs.db", port=0, workers=2,
-        sweep_interval=0.1, progress_interval=25,
+        sweep_interval=0.1, progress_interval=25, worker_model=worker_model,
     )
     server.start()
     yield server
