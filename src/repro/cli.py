@@ -19,6 +19,11 @@ Examples::
     # Run the verification server (HTTP JSON API over a persistent store,
     # multi-process workers by default; --worker-model thread to opt out):
     python -m repro serve --port 8080 --workers 4 --store jobs.db
+
+    # Scale out: several servers share one store (WAL) -- one queue, shared
+    # results, cross-server cancellation -- each with a unique --server-id:
+    python -m repro serve --port 8080 --store shared.db --server-id a
+    python -m repro serve --port 8081 --store shared.db --server-id b
 """
 
 from __future__ import annotations
@@ -221,11 +226,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             quiet=args.quiet,
             worker_model=args.worker_model,
             max_jobs_per_worker=args.max_jobs_per_worker,
+            server_id=args.server_id,
+            sweep_interval=args.sweep_interval,
+            heartbeat_interval=args.heartbeat_interval,
+            stale_heartbeat_seconds=args.stale_after,
         )
     except sqlite3.Error as error:
         print(f"error: cannot open job store {args.store!r}: {error}", file=sys.stderr)
         return 2
-    print(f"verification server: store {args.store!r}, {args.workers} worker(s)", flush=True)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    identity = f" as {args.server_id!r}" if args.server_id else ""
+    print(
+        f"verification server{identity}: store {args.store!r},"
+        f" {args.workers} worker(s)",
+        flush=True,
+    )
     print(f"  {server.recovery.summary()}", flush=True)
     try:
         server.start()
@@ -323,6 +340,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--store", default="repro-jobs.db", metavar="PATH",
                        help="SQLite job/result store (default: repro-jobs.db)")
+    serve.add_argument(
+        "--server-id", default=None, metavar="ID", dest="server_id",
+        help="unique identity of this server in a shared-store deployment: several"
+             " `serve` processes may point at the same --store (it runs in WAL mode)"
+             " and share one queue, provided each gets a DISTINCT id.  Worker claims"
+             " are attributed to the id, startup recovery requeues only this server's"
+             " own previous claims, and cancellations propagate between servers"
+             " (default: none -- single-server mode)",
+    )
+    serve.add_argument(
+        "--sweep-interval", type=float, default=2.0, metavar="SECONDS",
+        help="how often the sweeper expires TTL'd jobs and rescues stale claims"
+             " (default: 2.0)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="how often workers refresh their claims' liveness stamps (default: 1.0)",
+    )
+    serve.add_argument(
+        "--stale-after", type=float, default=15.0, metavar="SECONDS", dest="stale_after",
+        help="heartbeat age past which a running job's owner is presumed dead and the"
+             " job is requeued -- must comfortably exceed --heartbeat-interval and"
+             " --sweep-interval (default: 15.0)",
+    )
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     _add_option_flags(serve)

@@ -13,6 +13,7 @@ import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
+from urllib.parse import quote, urlencode
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Lifecycle states after which a job can never change again.
@@ -52,7 +53,7 @@ class JobHandle:
             system=data.get("system", ""),
             property=data.get("property", ""),
             status=data.get("status", "queued"),
-            url=data.get("url", f"/v1/jobs/{data['id']}"),
+            url=data.get("url", f"/v1/jobs/{quote(str(data['id']), safe='')}"),
         )
 
 
@@ -147,27 +148,35 @@ class VerifasClient:
 
     # -------------------------------------------------------------------- query
 
+    @staticmethod
+    def _job_path(job_id: str) -> str:
+        # Percent-escape the id as a single path segment: an id containing
+        # `/`, `?`, `#` or spaces (e.g. attacker-controlled) must neither
+        # break the request line nor resolve to a different route.
+        return f"/v1/jobs/{quote(str(job_id), safe='')}"
+
     def job(self, job_id: str) -> Dict[str, Any]:
         """The current ``GET /v1/jobs/<id>`` view."""
-        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+        return self._request("GET", self._job_path(job_id))[1]
 
     def jobs(self, status: Optional[str] = None, limit: int = 100) -> Dict[str, Any]:
-        query = f"?limit={limit}" + (f"&status={status}" if status else "")
-        return self._request("GET", f"/v1/jobs{query}")[1]
+        params: Dict[str, Any] = {"limit": limit}
+        if status:
+            params["status"] = status
+        return self._request("GET", f"/v1/jobs?{urlencode(params)}")[1]
 
     def events(
         self, job_id: str, cursor: int = 0, limit: int = 500
     ) -> Dict[str, Any]:
         """One ``GET /v1/jobs/<id>/events`` page starting after *cursor*."""
-        return self._request(
-            "GET", f"/v1/jobs/{job_id}/events?cursor={cursor}&limit={limit}"
-        )[1]
+        query = urlencode({"cursor": cursor, "limit": limit})
+        return self._request("GET", f"{self._job_path(job_id)}/events?{query}")[1]
 
     # ------------------------------------------------------------------- cancel
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         """``DELETE /v1/jobs/<id>``: cooperative cancellation."""
-        return self._request("DELETE", f"/v1/jobs/{job_id}")[1]
+        return self._request("DELETE", self._job_path(job_id))[1]
 
     # ------------------------------------------------------------------ waiting
 

@@ -130,6 +130,48 @@ class CancellationToken:
         return self.stop_reason() is not None
 
 
+class RateLimitedPoll:
+    """An *external* token backend over an expensive pollable.
+
+    Wraps a zero-argument callable (typically a persistent-store query such
+    as ``lambda: store.is_cancel_requested(job_id)``) for use as
+    ``CancellationToken(external=...)``.  Search loops consult the external
+    backend once per iteration -- far too often for a SQL round trip -- so
+    this adapter consults the underlying pollable at most once per
+    ``interval`` seconds and answers from the cached value in between.
+
+    Once the pollable returns truthy the result latches True forever (the
+    store row may be swept while the search unwinds).  Exceptions from the
+    pollable are swallowed and read as "not cancelled": a flaky or
+    shutting-down store must never kill a verification run.
+    """
+
+    def __init__(self, poll: Callable[[], bool], interval: float = 0.25):
+        self._poll = poll
+        self._interval = interval
+        self._lock = threading.Lock()
+        self._next_poll = 0.0  # monotonic stamp of the next allowed poll
+        self._value = False
+
+    def __call__(self) -> bool:
+        if self._value:
+            return True
+        with self._lock:
+            if self._value:
+                return True
+            now = time.monotonic()
+            if now < self._next_poll:
+                return False
+            self._next_poll = now + self._interval
+        try:
+            value = bool(self._poll())
+        except Exception:  # noqa: BLE001 - a dead store reads as "keep going"
+            return False
+        if value:
+            self._value = True
+        return value
+
+
 @dataclass(frozen=True)
 class ProgressEvent:
     """One typed progress event emitted by a search.

@@ -23,6 +23,14 @@ interrupted jobs re-queue, completed results survive, and re-submitted
 payloads whose fingerprints are already stored complete as cache hits without
 invoking the verifier (the ``verifications_run`` metric stays flat).
 
+Several server processes may share one ``--store`` file (the store runs in
+WAL mode with per-thread connections and atomic claim transactions): give
+each a unique ``server_id`` so worker claims are attributable, startup
+recovery only requeues that server's own previous claims, a ``DELETE``
+handled by one server cancels a search running on another (workers poll the
+persisted ``cancel_requested`` flag), and the store's ``sweeper`` lease
+elects a single server to run TTL expiry and dead-server rescue at a time.
+
 ::
 
     server = VerificationServer(store_path="jobs.db", port=0, workers=2)
@@ -34,12 +42,14 @@ invoking the verifier (the ``verifications_run`` metric stays flat).
 from __future__ import annotations
 
 import os
+import sqlite3
 import threading
 import time
+import uuid
 from http.server import ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.core.control import CancellationToken, SearchControl
+from repro.core.control import CancellationToken, RateLimitedPoll, SearchControl
 from repro.core.options import VerifierOptions
 from repro.core.verifier import VerificationResult, Verifier
 from repro.server.handlers import ApiHandler
@@ -93,11 +103,57 @@ class VerificationServer:
         max_jobs_per_worker: int = 32,
         heartbeat_interval: float = 1.0,
         stale_heartbeat_seconds: float = 15.0,
+        server_id: Optional[str] = None,
+        cancel_poll_interval: float = 0.25,
     ):
         if worker_model not in ("thread", "process"):
             raise ValueError(
                 f"worker_model must be 'thread' or 'process', got {worker_model!r}"
             )
+        if server_id is not None and (
+            not isinstance(server_id, str)
+            or not server_id
+            or server_id.split() != [server_id]
+            or ":" in server_id
+        ):
+            # ':' is the reserved claim-prefix separator: allowing it would
+            # let one server's recovery prefix ("10.0.0.2:") accidentally
+            # match a peer's claims ("10.0.0.2:8081:proc-0") and requeue
+            # jobs running live on that peer.
+            raise ValueError(
+                "server_id must be a non-empty string without whitespace or ':',"
+                f" got {server_id!r}"
+            )
+        #: This server's identity in a shared-store deployment.  Worker ids
+        #: are prefixed ``"<server_id>:"`` so claims are attributable, and
+        #: startup recovery requeues only this server's own previous claims.
+        #: ``None`` (the default) is single-server mode: recovery repairs the
+        #: whole store, exactly as before.
+        self.server_id = server_id
+        #: Nonce distinguishing this process *incarnation* inside worker ids.
+        #: Ownership predicates compare full worker ids, so without it a
+        #: same-server-id rolling restart would collide with its
+        #: predecessor's claims ("a:proc-0" == "a:proc-0") and the old
+        #: incarnation could keep heartbeating / finalising jobs the new
+        #: one re-claimed.
+        self._incarnation = uuid.uuid4().hex[:6]
+        #: Prefix baked into every worker id; starts with "<server_id>:" in
+        #: shared-store mode so claims stay attributable to the server.
+        self.worker_id_prefix = (
+            f"{server_id}:{self._incarnation}:"
+            if server_id
+            else f"{self._incarnation}:"
+        )
+        #: Identity used for store leases (unique per process even when the
+        #: operator forgot to set distinct server ids).
+        self._lease_owner = (
+            f"{server_id}:{uuid.uuid4().hex[:8]}"
+            if server_id
+            else f"srv:{uuid.uuid4().hex[:8]}"
+        )
+        #: How often a *running* thread-model job's token re-polls the store's
+        #: ``cancel_requested`` flag (cross-server DELETE latency bound).
+        self.cancel_poll_interval = cancel_poll_interval
         self.host = host
         self.port = port
         self.quiet = quiet
@@ -110,20 +166,42 @@ class VerificationServer:
         self.worker_fallback_error: Optional[str] = None
         #: Recycle a worker process after this many dispatched jobs.
         self.max_jobs_per_worker = max(1, max_jobs_per_worker)
-        #: How often (seconds) a process-worker agent refreshes its job's
-        #: store heartbeat while the child searches.
+        if stale_heartbeat_seconds <= 2.0 * heartbeat_interval:
+            # Workers (process agents in their drain loops, thread claims
+            # via the dedicated heartbeat thread) refresh heartbeats once
+            # per heartbeat_interval: a staleness threshold inside that
+            # cadence would make the sweeper perpetually "rescue" live jobs
+            # -- cancel, requeue, re-claim, forever.
+            raise ValueError(
+                f"stale_heartbeat_seconds ({stale_heartbeat_seconds}) must exceed"
+                f" twice heartbeat_interval ({heartbeat_interval}): workers only"
+                " refresh claims that often"
+            )
+        #: How often (seconds) workers refresh their jobs' store heartbeats
+        #: (process agents from their drain loops; thread claims from the
+        #: dedicated heartbeat thread).
         self.heartbeat_interval = heartbeat_interval
         #: Heartbeat age past which the sweeper requeues a running job whose
-        #: (process-model) owner is presumed dead.
+        #: owner is presumed dead.
         self.stale_heartbeat_seconds = stale_heartbeat_seconds
         #: How often (seconds) the sweeper thread expires TTL'd jobs/results.
         self.sweep_interval = sweep_interval
         #: Explored-state interval between persisted ``progress`` events.
         self.progress_interval = progress_interval
         self.store = JobStore(store_path)
-        self.recovery: RecoveryReport = recover(self.store)
+        # In shared-store mode, startup recovery spares own-prefix claims
+        # whose heartbeats are still fresh: a rolling restart overlaps with
+        # the old same-id instance draining (and heartbeating) its last
+        # jobs, and yanking those would discard nearly-finished work.
+        self.recovery: RecoveryReport = recover(
+            self.store,
+            server_id=server_id,
+            heartbeat_grace_seconds=(
+                stale_heartbeat_seconds if server_id is not None else None
+            ),
+        )
         self.cache = StoreBackedCache(self.store, ResultCache(max_entries=cache_entries))
-        self.metrics = ServerMetrics()
+        self.metrics = ServerMetrics(server_id=server_id)
         self.service = VerificationService(
             cache=self.cache, default_options=default_options
         )
@@ -134,12 +212,21 @@ class VerificationServer:
         self._httpd: Optional[_HttpServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self._sweeper_thread: Optional[threading.Thread] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
         # Cancel hooks of jobs currently running on this server's workers,
         # so `DELETE /v1/jobs/<id>` can trip a live search: a thread job
         # registers its CancellationToken.cancel, a process job the `set` of
         # the multiprocessing.Event its child polls.
         self._cancel_lock = threading.Lock()
         self._cancellers: Dict[str, Callable[[], None]] = {}
+        # Thread-model jobs currently executing on this server (job id ->
+        # worker id).  The dedicated heartbeat thread refreshes their store
+        # heartbeats -- the worker thread itself is busy inside the search
+        # -- so a peer server's stale sweep never mistakes a live thread
+        # job for a dead one, while this process dying hard leaves the
+        # heartbeat to go stale and the job to be rescued.  (Process-model
+        # agents heartbeat from their own drain loops instead.)
+        self._inflight: Dict[str, str] = {}
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -176,7 +263,10 @@ class VerificationServer:
         else:
             for index in range(self.workers):
                 thread = threading.Thread(
-                    target=self._worker_loop, name=f"repro-worker-{index}", daemon=True
+                    target=self._worker_loop,
+                    args=(index,),
+                    name=f"repro-worker-{index}",
+                    daemon=True,
                 )
                 thread.start()
                 self._worker_threads.append(thread)
@@ -184,6 +274,10 @@ class VerificationServer:
             target=self._sweeper_loop, name="repro-sweeper", daemon=True
         )
         self._sweeper_thread.start()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
 
     def stop(self) -> None:
         """Graceful shutdown: finish in-flight jobs, leave the queue persisted."""
@@ -196,8 +290,22 @@ class VerificationServer:
             self._http_thread.join(timeout=5)
         if self._sweeper_thread is not None:
             self._sweeper_thread.join(timeout=5)
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5)
+        # The heartbeat thread is gone, but in-flight thread jobs may run for a while
+        # yet -- keep their heartbeats fresh while waiting, or a peer
+        # server's stale sweep would "rescue" (re-run) jobs that are about
+        # to finish right here.  (Process agents heartbeat from their own
+        # drain loops until done.)
+        deadline = time.monotonic() + 60
         for thread in self._worker_threads:
-            thread.join(timeout=60)
+            while thread.is_alive() and time.monotonic() < deadline:
+                thread.join(timeout=max(0.05, min(1.0, self.heartbeat_interval)))
+                if thread.is_alive():
+                    try:
+                        self._sync_inflight()
+                    except Exception:  # pragma: no cover - store unusable
+                        break
         for agent in self._agents:
             agent.join(timeout=60)
         for agent in self._agents:
@@ -206,6 +314,12 @@ class VerificationServer:
         workers_done = all(
             not thread.is_alive() for thread in self._worker_threads
         ) and all(not agent.is_alive() for agent in self._agents)
+        try:
+            # Hand the sweeper role to a peer immediately instead of making
+            # it wait out the lease TTL.
+            self.store.release_lease("sweeper", self._lease_owner)
+        except Exception:  # pragma: no cover - store already unusable
+            pass
         if workers_done:
             self.store.close()
         # else: a worker is still mid-verification past the join timeout;
@@ -231,14 +345,32 @@ class VerificationServer:
 
     # ------------------------------------------------------------------ workers
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int) -> None:
+        worker_id = f"{self.worker_id_prefix}thread-{index}"
         while not self._stop_event.is_set():
-            stored = self.store.claim_next()
+            try:
+                stored = self.store.claim_next(worker_id=worker_id)
+            except sqlite3.ProgrammingError:
+                return  # store closed mid-shutdown
+            except Exception:
+                # Transient (e.g. an exhausted busy timeout under heavy
+                # multi-process contention): the claim loop must outlive it,
+                # or worker capacity silently shrinks to zero.
+                self._stop_event.wait(timeout=0.5)
+                continue
             if stored is None:
                 self._wakeup.wait(timeout=0.1)
                 self._wakeup.clear()
                 continue
-            self._process(stored)
+            try:
+                self._process(stored, worker_id)
+            except sqlite3.ProgrammingError:
+                return  # store closed mid-shutdown
+            except Exception:
+                # A finalisation write hit the same transient trouble the
+                # claim above is hardened against; the job will be rescued
+                # by the stale sweep, and this slot lives on.
+                self._stop_event.wait(timeout=0.5)
 
     def _register_canceller(self, job_id: str, canceller: Callable[[], None]) -> None:
         """Register the hook `cancel_job` calls to trip *job_id*'s live search."""
@@ -256,18 +388,21 @@ class VerificationServer:
         cache_hit: bool,
         deadline_truncated: bool,
         started: float,
+        owner: Optional[str] = None,
     ) -> None:
         """Land a finished job in the store (shared by both worker models).
 
         A cancelled run lands as terminal ``cancelled`` with its partial
         statistics (never cached); a ``deadline_ms``-truncated verdict stays
         on the job row only (``persist_result=False``), mirroring the
-        decision to keep it out of the fingerprint-keyed cache.  A mark that
-        does not land (the job was rescued by the stale-heartbeat sweeper
-        and already reached a terminal state elsewhere) bumps no metrics.
+        decision to keep it out of the fingerprint-keyed cache.  ``owner``
+        is the claiming worker id: the mark lands only while that worker
+        still owns the claim, so a zombie whose job was rescued by a stale
+        sweep (here or on a peer server) can never overwrite the live run's
+        state.  A mark that does not land bumps no metrics.
         """
         if result.stats.cancelled:
-            if self.store.mark_cancelled(stored.id, result.as_dict()):
+            if self.store.mark_cancelled(stored.id, result.as_dict(), worker_id=owner):
                 self.metrics.increment("jobs_cancelled")
             return
         if self.store.mark_done(
@@ -275,16 +410,29 @@ class VerificationServer:
             result.as_dict(),
             cache_hit=cache_hit,
             persist_result=not deadline_truncated,
+            worker_id=owner,
         ):
             self.metrics.increment("jobs_completed")
             self.metrics.job_latency.observe(time.monotonic() - started)
 
-    def _process(self, stored: StoredJob) -> None:
+    def _process(self, stored: StoredJob, worker_id: Optional[str] = None) -> None:
         started = time.monotonic()
-        token = CancellationToken()
+        # The token's external backend re-polls the store's persisted
+        # cancel_requested flag (rate-limited -- it is a SQL read), so a
+        # DELETE accepted by *another server* sharing the store stops this
+        # thread-model search within cancel_poll_interval.
+        token = CancellationToken(
+            external=RateLimitedPoll(
+                lambda: self.store.is_cancel_requested(stored.id),
+                interval=self.cancel_poll_interval,
+            )
+        )
         if stored.deadline_ms is not None:
             token.tighten_deadline(stored.deadline_ms / 1000.0)
         self._register_canceller(stored.id, token.cancel)
+        if worker_id is not None:
+            with self._cancel_lock:
+                self._inflight[stored.id] = worker_id
         try:
             # A cancel accepted between the claim and the registration above
             # only reached the store; fold it into the live token now.
@@ -295,12 +443,18 @@ class VerificationServer:
                     stored, token, deadline_ms_binding(stored)
                 )
             except Exception as error:
-                if self.store.mark_error(stored.id, f"{type(error).__name__}: {error}"):
+                if self.store.mark_error(
+                    stored.id, f"{type(error).__name__}: {error}", worker_id=worker_id
+                ):
                     self.metrics.increment("jobs_failed")
                 return
-            self._finalize_result(stored, result, cache_hit, deadline_truncated, started)
+            self._finalize_result(
+                stored, result, cache_hit, deadline_truncated, started, owner=worker_id
+            )
         finally:
             self._unregister_canceller(stored.id)
+            with self._cancel_lock:
+                self._inflight.pop(stored.id, None)
 
     def _execute(
         self, stored: StoredJob, token: CancellationToken, deadline_binding: bool
@@ -346,21 +500,75 @@ class VerificationServer:
     # ------------------------------------------------------------------ sweeper
 
     def _sweeper_loop(self) -> None:
+        # The sweeper lease elects ONE sweeper among every server sharing
+        # the store file: only the holder runs TTL expiry and stale-claim
+        # rescue, so N servers never race each other over global repairs.
+        # The TTL outlives a couple of missed beats; a crashed holder's
+        # lease expires and a peer takes over.  (Should a slow sweep let
+        # the lease lapse mid-pass, a concurrent peer sweep is safe -- the
+        # repairs are atomic and idempotent; the lease is an optimisation.)
+        lease_ttl = max(3.0 * self.sweep_interval, 1.0)
         while not self._stop_event.wait(timeout=self.sweep_interval):
             try:
+                if not self.store.acquire_lease(
+                    "sweeper", self._lease_owner, lease_ttl
+                ):
+                    self.metrics.increment("sweeper_lease_misses")
+                    continue
                 swept = self.store.sweep_expired()
-                if self.worker_model == "process":
-                    # Belt to the agents' braces: rescue jobs whose owning
-                    # agent thread died (its heartbeats stopped).  Thread
-                    # claims carry no heartbeat and are never touched.
-                    stale = self.store.requeue_stale(self.stale_heartbeat_seconds)
-                    if stale:
-                        self._wakeup.set()
-            except Exception:  # pragma: no cover - store closed mid-shutdown
+                # Rescue jobs whose owner went dark (its heartbeats
+                # stopped): a dead process-worker agent, a SIGKILL'd peer
+                # server, a dead thread-model server.  Anonymous claims
+                # carry no heartbeat and are never touched.
+                stale = self.store.requeue_stale(self.stale_heartbeat_seconds)
+                if stale:
+                    self.metrics.increment("stale_jobs_requeued", stale)
+                    self._wakeup.set()
+            except sqlite3.ProgrammingError:  # store closed mid-shutdown
                 return
+            except Exception:
+                # Transient store trouble (e.g. a busy timeout exhausted
+                # under heavy multi-process write contention) must not kill
+                # the sweeper: the next pass simply retries.
+                continue
             if swept["jobs"]:
                 self.metrics.increment("jobs_expired", swept["jobs"])
                 self.metrics.increment("results_expired", swept["results"])
+
+    def _heartbeat_loop(self) -> None:
+        # A dedicated thread, deliberately NOT the sweeper: it is the only
+        # heartbeat source for this server's thread-model claims, and a
+        # long sweep (a contended write, a big expiry DELETE) must not
+        # starve local heartbeats past the peers' staleness window.
+        while not self._stop_event.wait(timeout=self.heartbeat_interval):
+            try:
+                self._sync_inflight()
+            except sqlite3.ProgrammingError:  # store closed mid-shutdown
+                return
+            except Exception:  # transient: retry next tick
+                continue
+
+    def _sync_inflight(self) -> None:
+        """Heartbeat this server's thread-model jobs and fold store-side
+        cancels (e.g. a DELETE handled by a peer server) into their tokens."""
+        with self._cancel_lock:
+            inflight = dict(self._inflight)
+        for job_id, worker_id in inflight.items():
+            try:
+                owned, cancel_requested = self.store.touch_claim(job_id, worker_id)
+            except sqlite3.ProgrammingError:
+                raise  # store closed: let the caller's shutdown path handle it
+            except Exception:
+                continue  # contended tick: this job's claim retries next pass
+            if owned and not cancel_requested:
+                continue
+            # Cancelled through the store, or the claim was rescued from us:
+            # either way the search should unwind now (its late mark would
+            # bounce off the ownership predicate anyway).
+            with self._cancel_lock:
+                canceller = self._cancellers.get(job_id)
+                if canceller is not None:
+                    canceller()
 
     # -------------------------------------------------------------------- views
 
@@ -564,6 +772,8 @@ class VerificationServer:
 
     def workers_view(self) -> Dict[str, Any]:
         """The ``workers`` section of ``/metrics``: model + per-worker gauges."""
+        # (server_id itself lives at the top level of /metrics, via
+        # ServerMetrics.snapshot -- not duplicated here.)
         view: Dict[str, Any] = {
             "count": self.workers,
             "model": self.worker_model,

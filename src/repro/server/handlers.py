@@ -38,7 +38,7 @@ import re
 import sqlite3
 from http.server import BaseHTTPRequestHandler
 from typing import Any, Dict, Optional, Tuple
-from urllib.parse import parse_qs
+from urllib.parse import parse_qs, unquote
 
 from repro.has.artifact_system import SpecificationError
 from repro.spec.errors import SpecError
@@ -88,12 +88,15 @@ class ApiHandler(BaseHTTPRequestHandler):
                 return self._list_jobs(parse_qs(query))
             match = _EVENTS_PATH.match(route)
             if match:
-                return self._job_events(match.group(1), parse_qs(query))
+                # Clients percent-escape ids as single path segments; undo it
+                # so an escaped id resolves to the job it names.
+                return self._job_events(unquote(match.group(1)), parse_qs(query))
             match = _JOB_PATH.match(route)
             if match:
-                view = self.app.job_view(match.group(1))
+                job_id = unquote(match.group(1))
+                view = self.app.job_view(job_id)
                 if view is None:
-                    return self._send(404, {"error": f"no job with id {match.group(1)!r}"})
+                    return self._send(404, {"error": f"no job with id {job_id!r}"})
                 return self._send(200, view)
             self._send(404, {"error": f"unknown path {path!r}"})
         except sqlite3.ProgrammingError:  # pragma: no cover - shutdown race
@@ -140,10 +143,11 @@ class ApiHandler(BaseHTTPRequestHandler):
         match = _JOB_PATH.match(route)
         if not match:
             return self._send(404, {"error": f"unknown path {path!r}"})
+        job_id = unquote(match.group(1))
         try:
-            view = self.app.cancel_job(match.group(1))
+            view = self.app.cancel_job(job_id)
             if view is None:
-                return self._send(404, {"error": f"no job with id {match.group(1)!r}"})
+                return self._send(404, {"error": f"no job with id {job_id!r}"})
             self._send(202, view)
         except sqlite3.ProgrammingError:  # pragma: no cover - shutdown race
             self._send(503, {"error": "server is shutting down"})

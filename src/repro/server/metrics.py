@@ -107,9 +107,16 @@ class WorkerGauges:
 
 
 class ServerMetrics:
-    """Counters + latency tracker, snapshotted by the ``/metrics`` endpoint."""
+    """Counters + latency tracker, snapshotted by the ``/metrics`` endpoint.
 
-    def __init__(self):
+    ``server_id`` tags the snapshot in shared-store deployments, so an
+    operator scraping several servers' ``/metrics`` can attribute each
+    counter set (all counters are per-server: each server counts only the
+    jobs *its* workers ran, the cancels *it* accepted, the sweeps *it* won).
+    """
+
+    def __init__(self, server_id: Optional[str] = None):
+        self.server_id = server_id
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {
             "jobs_submitted": 0,
@@ -122,6 +129,11 @@ class ServerMetrics:
             "verifications_run": 0,
             "worker_crashes": 0,
             "worker_recycles": 0,
+            # Shared-store citizenship: jobs this server's sweeper rescued
+            # from dead owners, and sweep rounds skipped because a peer
+            # server currently holds the sweeper lease.
+            "stale_jobs_requeued": 0,
+            "sweeper_lease_misses": 0,
             "requests": 0,
         }
         self.job_latency = LatencyTracker()
@@ -142,6 +154,7 @@ class ServerMetrics:
 
     def snapshot(self) -> Dict[str, object]:
         return {
+            "server_id": self.server_id,
             "uptime_seconds": time.time() - self.started_at,
             "counters": self.counters(),
             "job_latency": self.job_latency.snapshot(),

@@ -13,12 +13,27 @@ server runs :func:`recover` against its :class:`~repro.server.store.JobStore`:
 * ``done`` jobs keep their persisted results, which the read-through cache
   serves without invoking the verifier again;
 * ``cancelled`` jobs are terminal and stay untouched.
+
+Shared-store deployments
+========================
+
+When several servers share one store file, a restarting server must not
+"recover" jobs that are running live on its peers.  Passing ``server_id``
+scopes the repair: only claims made by this server's own workers (their
+``claimed_by`` starts with ``"<server_id>:"``) and unattributable claims
+(``claimed_by IS NULL`` -- jobs claimed outside any server) are touched.
+Scopes of distinct server ids are disjoint, so concurrent startups cannot
+requeue each other's work -- no lock needed; repair of *peers that crash
+later* is handled at runtime by the sweeper-lease holder's stale-heartbeat
+rescue (see :meth:`~repro.server.store.JobStore.requeue_stale` and the
+server's sweeper loop).  ``server_id=None`` keeps the legacy single-server
+behaviour: the whole store is repaired.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.server.store import JobStore
 
@@ -56,10 +71,31 @@ class RecoveryReport:
         )
 
 
-def recover(store: JobStore) -> RecoveryReport:
-    """Repair *store* after an unclean shutdown and report what was found."""
-    cancelled_interrupted = store.cancel_interrupted()
-    requeued = store.requeue_running()
+def recover(
+    store: JobStore,
+    server_id: Optional[str] = None,
+    heartbeat_grace_seconds: Optional[float] = None,
+) -> RecoveryReport:
+    """Repair *store* after an unclean shutdown and report what was found.
+
+    With ``server_id``, the repair is scoped to this server's own previous
+    claims (plus unattributable ones) -- see the module docstring; jobs
+    running live on peer servers sharing the store are left alone.
+
+    ``heartbeat_grace_seconds`` (the server passes its staleness threshold)
+    spares claims whose heartbeat is still fresh: during a rolling restart
+    the old same-id instance may still be draining -- and heartbeating --
+    its last jobs, and yanking them would discard nearly-finished work.
+    Such claims are picked up by the sweeper's stale rescue if their owner
+    really is gone.  Claims without heartbeats are always repaired.
+    """
+    owner_prefix = None if server_id is None else f"{server_id}:"
+    cancelled_interrupted = store.cancel_interrupted(
+        owner_prefix=owner_prefix, heartbeat_grace_seconds=heartbeat_grace_seconds
+    )
+    requeued = store.requeue_running(
+        owner_prefix=owner_prefix, heartbeat_grace_seconds=heartbeat_grace_seconds
+    )
     counts = store.counts()
     return RecoveryReport(
         requeued=requeued,

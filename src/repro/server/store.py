@@ -1,13 +1,13 @@
 """The persistent SQLite job/result store behind the verification server.
 
-Two tables back verification-as-a-service:
+Three tables (plus a small ``leases`` table) back verification-as-a-service:
 
 * ``jobs`` -- one row per submitted job: the canonical spec payload (system,
   property, options dicts as JSON text), lifecycle status (``queued`` ->
   ``running`` -> ``done`` | ``error`` | ``cancelled``), timestamps, cache
   provenance, TTL / deadline limits, the cooperative ``cancel_requested``
   flag, and worker-claim bookkeeping (``claimed_by`` + ``heartbeat_at``,
-  kept fresh by process workers so dead ones are detected and their jobs
+  kept fresh by workers so dead ones are detected and their jobs
   requeued).  A ``cancelled`` job may carry a *partial* result (``UNKNOWN`` with
   the statistics gathered before the stop) in ``partial_json`` -- partial
   results are deliberately **not** written to ``results``, so they can never
@@ -18,6 +18,33 @@ Two tables back verification-as-a-service:
 * ``events`` -- the per-job progress-event log behind
   ``GET /v1/jobs/<id>/events``: monotonically increasing ``seq`` per job, so
   clients poll incrementally with a cursor.
+* ``leases`` -- named, TTL'd advisory leases (:meth:`JobStore.acquire_lease`)
+  used by servers sharing one store file to elect a single sweeper: only the
+  lease holder runs TTL expiry and stale-claim rescue at any moment.
+
+Concurrency model
+=================
+
+The store is safe to share between threads **and between processes** pointed
+at the same file:
+
+* every thread gets its **own** SQLite connection (lazily, from a per-store
+  pool), so readers never queue behind a Python lock;
+* file-backed stores run in **WAL** journal mode with a busy timeout --
+  readers proceed concurrently with one writer, and a second writer waits on
+  SQLite's own file lock instead of failing;
+* every mutating method is one atomic ``BEGIN IMMEDIATE`` transaction, so a
+  read-decide-write sequence (claim, release, cancel, ...) can never
+  interleave with another process's transaction;
+* claim-ownership is enforced *in SQL*: :meth:`heartbeat`, :meth:`release`
+  and the ``mark_*`` finalisers take the claiming ``worker_id`` and update
+  only rows whose ``claimed_by`` still matches, so a zombie worker whose job
+  was rescued and re-claimed elsewhere can neither keep it alive, yank it
+  back, nor overwrite its state.
+
+In-memory stores (``:memory:``) are invisible to other connections, so they
+keep the legacy single-connection design serialized behind an ``RLock`` --
+they exist for tests and throwaway servers only.
 
 Jobs submitted with ``ttl_seconds`` get an ``expires_at`` stamp when they
 reach a terminal state; :meth:`JobStore.sweep_expired` (driven by the
@@ -46,8 +73,9 @@ import sqlite3
 import threading
 import time
 import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.verifier import VerificationResult
 from repro.service.cache import ResultCache
@@ -86,24 +114,37 @@ CREATE TABLE IF NOT EXISTS jobs (
 )
 """
 
-_SCHEMA = _JOBS_DDL + """;
-CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, submitted_at);
-CREATE INDEX IF NOT EXISTS jobs_by_fingerprint ON jobs (fingerprint);
-CREATE INDEX IF NOT EXISTS jobs_by_expiry ON jobs (expires_at) WHERE expires_at IS NOT NULL;
-CREATE TABLE IF NOT EXISTS results (
-    fingerprint TEXT PRIMARY KEY,
-    result_json TEXT NOT NULL,
-    created_at  REAL NOT NULL
-);
-CREATE TABLE IF NOT EXISTS events (
-    job_id     TEXT NOT NULL,
-    seq        INTEGER NOT NULL,
-    created_at REAL NOT NULL,
-    kind       TEXT NOT NULL,
-    payload    TEXT NOT NULL,
-    PRIMARY KEY (job_id, seq)
-);
-"""
+_SCHEMA_STATEMENTS = (
+    _JOBS_DDL,
+    "CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, submitted_at)",
+    "CREATE INDEX IF NOT EXISTS jobs_by_fingerprint ON jobs (fingerprint)",
+    "CREATE INDEX IF NOT EXISTS jobs_by_expiry ON jobs (expires_at)"
+    " WHERE expires_at IS NOT NULL",
+    """
+    CREATE TABLE IF NOT EXISTS results (
+        fingerprint TEXT PRIMARY KEY,
+        result_json TEXT NOT NULL,
+        created_at  REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS events (
+        job_id     TEXT NOT NULL,
+        seq        INTEGER NOT NULL,
+        created_at REAL NOT NULL,
+        kind       TEXT NOT NULL,
+        payload    TEXT NOT NULL,
+        PRIMARY KEY (job_id, seq)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS leases (
+        name       TEXT PRIMARY KEY,
+        owner      TEXT NOT NULL,
+        expires_at REAL NOT NULL
+    )
+    """,
+)
 
 #: Columns shared by the PR 2 ``jobs`` table and the current one, used to
 #: carry rows across the in-place migration.
@@ -210,30 +251,66 @@ class StoredJob:
 
 
 class JobStore:
-    """Thread-safe persistent job queue + result store on one SQLite file.
+    """Persistent job queue + result store on one SQLite file.
 
-    All access goes through a single connection guarded by a lock, so worker
-    threads and HTTP handler threads can share one store instance.  ``claim``
-    transitions are atomic under that lock: each queued job is handed to
-    exactly one worker.
+    Safe to share between threads (per-thread connections) and between
+    processes pointed at the same file (WAL + ``BEGIN IMMEDIATE``
+    transactions with in-SQL ownership predicates) -- see the module
+    docstring for the full concurrency model.
     """
 
-    def __init__(self, path: Union[str, os.PathLike] = ":memory:"):
+    def __init__(
+        self,
+        path: Union[str, os.PathLike] = ":memory:",
+        busy_timeout_seconds: float = 30.0,
+        heartbeat_busy_timeout_seconds: float = 5.0,
+    ):
         self.path = os.fspath(path)
-        self._connection = sqlite3.connect(self.path, check_same_thread=False)
-        self._connection.row_factory = sqlite3.Row
-        self._lock = threading.RLock()
+        #: How long a writer waits on another process's transaction before
+        #: surfacing ``sqlite3.OperationalError: database is locked``.
+        self.busy_timeout_seconds = busy_timeout_seconds
+        #: The (much shorter) wait for the heartbeat path: a heartbeat that
+        #: blocks longer than the staleness threshold is worse than one that
+        #: fails fast and retries next tick -- the default full timeout (30s)
+        #: exceeds the default staleness window (15s), so a single heavily
+        #: contended write could otherwise starve every local claim into a
+        #: spurious peer rescue.
+        self.heartbeat_busy_timeout_seconds = min(
+            heartbeat_busy_timeout_seconds, busy_timeout_seconds
+        )
+        #: In-memory databases are private to one connection: they keep the
+        #: legacy single-connection design behind a lock (tests / dev only).
+        self._memory = self.path in ("", ":memory:") or "mode=memory" in self.path
+        self._serial: Optional[threading.RLock] = (
+            threading.RLock() if self._memory else None
+        )
+        self._local = threading.local()
+        #: Every live per-thread connection, paired with its owning thread
+        #: so dead threads' connections can be pruned (see _connection).
+        self._pool: List[Tuple[threading.Thread, sqlite3.Connection]] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        self._stats_lock = threading.Lock()
         self.store_hits = 0
         self.store_misses = 0
         # Wall-clock anchor for the monotonic store clock (see _now): all
         # in-process time arithmetic (TTL sweeps, heartbeat staleness,
         # expires_at computation) is immune to wall-clock steps, while the
-        # persisted timestamps stay in the wall epoch for display.
+        # persisted timestamps stay in the wall epoch for display -- and
+        # hence comparable between processes sharing one store file.
         self._wall_anchor = time.time()
         self._mono_anchor = time.monotonic()
-        with self._lock, self._connection:
-            self._migrate_locked()
-            self._connection.executescript(_SCHEMA)
+        if self._memory:
+            self._memory_conn = self._new_connection()
+        #: The journal mode actually in effect ("wal" for file stores on
+        #: WAL-capable filesystems, "memory" for in-memory stores).
+        self.journal_mode = self._connection().execute(
+            "PRAGMA journal_mode"
+        ).fetchone()[0]
+        with self._write() as conn:
+            self._migrate(conn)
+            for statement in _SCHEMA_STATEMENTS:
+                conn.execute(statement)
 
     def _now(self) -> float:
         """A monotonically advancing clock expressed in the wall epoch.
@@ -246,19 +323,157 @@ class JobStore:
         """
         return self._wall_anchor + (time.monotonic() - self._mono_anchor)
 
-    def _migrate_locked(self) -> None:
+    def _shared_now(self) -> float:
+        """The clock for stamps compared against *other processes'* clocks
+        (``heartbeat_at``, lease ``expires_at``): never behind the wall clock.
+
+        The store clock is monotonic-anchored, and ``CLOCK_MONOTONIC`` does
+        not advance through a host suspend / VM pause -- after resume, pure
+        ``_now()`` stamps would lag real time by the pause forever: every
+        job this server claims would look permanently stale to its peers,
+        and its lease renewals would read as already expired (two elected
+        sweepers).  Taking the later of the store clock and the wall clock
+        cures that lag while staying monotonic per store (the store clock
+        is the floor when the wall clock steps backwards).
+
+        TTL arithmetic (``expires_at`` written by the ``mark_*`` finalisers
+        and compared by :meth:`sweep_expired`) deliberately stays on the
+        plain store clock: wall-step immunity for expiry is pinned
+        behaviour (an NTP step must neither mass-expire nor immortalise
+        jobs), at the accepted cost that a suspended host's TTL stamps
+        drift by the pause -- expiry is garbage collection, not claim
+        correctness.
+        """
+        return max(self._now(), time.time())
+
+    # ------------------------------------------------------------- connections
+
+    def _new_connection(self) -> sqlite3.Connection:
+        # isolation_level=None puts the connection in autocommit mode so the
+        # store controls transactions explicitly (BEGIN IMMEDIATE below);
+        # check_same_thread=False only so close() can reach every pooled
+        # connection -- each one is otherwise used by a single thread.
+        connection = sqlite3.connect(
+            self.path,
+            timeout=self.busy_timeout_seconds,
+            isolation_level=None,
+            check_same_thread=False,
+        )
+        connection.row_factory = sqlite3.Row
+        if not self._memory:
+            # WAL lets readers proceed while one writer commits; NORMAL sync
+            # is durable across application crashes (WAL is replayed) and
+            # avoids an fsync per transaction.
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute(
+            f"PRAGMA busy_timeout={int(self.busy_timeout_seconds * 1000)}"
+        )
+        return connection
+
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's connection (the single shared one for ``:memory:``).
+
+        Creating a connection for a new thread also prunes (and closes) the
+        connections of threads that have since died -- the HTTP server
+        spawns one thread per request, so without pruning a busy server
+        would leak one file descriptor per request ever handled.
+        """
+        if self._memory:
+            return self._memory_conn
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            if self._closed:
+                raise sqlite3.ProgrammingError("cannot use a closed JobStore")
+            connection = self._new_connection()
+            with self._pool_lock:
+                if self._closed:
+                    # close() drained the pool between our check above and
+                    # here: registering now would leak the connection and
+                    # keep a "closed" store usable.
+                    connection.close()
+                    raise sqlite3.ProgrammingError("cannot use a closed JobStore")
+                self._local.connection = connection
+                dead = [c for t, c in self._pool if not t.is_alive()]
+                self._pool = [
+                    (t, c) for t, c in self._pool if t.is_alive()
+                ]
+                self._pool.append((threading.current_thread(), connection))
+            for stale in dead:
+                try:
+                    stale.close()
+                except sqlite3.Error:  # pragma: no cover - already broken
+                    pass
+        return connection
+
+    @contextmanager
+    def _read(self) -> Iterator[sqlite3.Connection]:
+        """A connection for plain reads (no transaction, no Python lock).
+
+        WAL readers see the last committed state without blocking writers;
+        in-memory stores serialize on the store lock instead.
+        """
+        if self._serial is not None:
+            with self._serial:
+                yield self._memory_conn
+        else:
+            yield self._connection()
+
+    @contextmanager
+    def _write(
+        self, busy_timeout_seconds: Optional[float] = None
+    ) -> Iterator[sqlite3.Connection]:
+        """One atomic ``BEGIN IMMEDIATE`` transaction on this thread's connection.
+
+        ``IMMEDIATE`` takes SQLite's write lock up front, so the whole
+        read-decide-write body is atomic with respect to every other thread
+        *and process* on the same file; a concurrent writer waits on the
+        busy timeout instead of failing.  ``busy_timeout_seconds`` bounds
+        that wait below the store default for callers (the heartbeat path)
+        that would rather fail fast and retry than block.
+        """
+        if self._serial is not None:
+            self._serial.acquire()
+        try:
+            connection = self._connection()
+            if busy_timeout_seconds is not None:
+                connection.execute(
+                    f"PRAGMA busy_timeout={int(busy_timeout_seconds * 1000)}"
+                )
+            try:
+                connection.execute("BEGIN IMMEDIATE")
+                try:
+                    yield connection
+                except BaseException:
+                    connection.rollback()
+                    raise
+                connection.commit()
+            finally:
+                if busy_timeout_seconds is not None:
+                    try:
+                        connection.execute(
+                            f"PRAGMA busy_timeout={int(self.busy_timeout_seconds * 1000)}"
+                        )
+                    except sqlite3.ProgrammingError:  # pragma: no cover - closed under us
+                        pass
+        finally:
+            if self._serial is not None:
+                self._serial.release()
+
+    def _migrate(self, connection: sqlite3.Connection) -> None:
         """Rebuild a PR 2 ``jobs`` table in place (new columns, new CHECK).
 
-        DDL commits immediately under sqlite3's legacy transaction handling,
-        so a crash can leave the rename/copy/drop sequence half done.  Every
-        step is therefore idempotent and keyed off the on-disk state: a
-        leftover ``jobs_migrating`` table (crash after the rename) is
-        resumed -- rows are copied with ``INSERT OR IGNORE`` (crash after a
-        partial copy) and the leftover dropped -- so no open can strand rows.
+        Runs inside the opening ``BEGIN IMMEDIATE`` transaction, so two
+        processes opening one store concurrently serialize here and the
+        whole rename/copy/drop sequence is atomic.  Every step is also
+        idempotent and keyed off the on-disk state: a leftover
+        ``jobs_migrating`` table (from a pre-WAL store that crashed
+        mid-migration) is resumed -- rows are copied with ``INSERT OR
+        IGNORE`` and the leftover dropped -- so no open can strand rows.
         """
         tables = {
             row[0]
-            for row in self._connection.execute(
+            for row in connection.execute(
                 "SELECT name FROM sqlite_master WHERE type = 'table'"
             )
         }
@@ -266,30 +481,46 @@ class JobStore:
             if "jobs" not in tables:
                 return
             columns = {
-                row[1] for row in self._connection.execute("PRAGMA table_info(jobs)")
+                row[1] for row in connection.execute("PRAGMA table_info(jobs)")
             }
             if "cancel_requested" in columns:
                 # A PR 3 store only lacks the worker-claim columns, which
                 # need no CHECK change: plain ALTERs suffice.
                 for name, kind in (("claimed_by", "TEXT"), ("heartbeat_at", "REAL")):
                     if name not in columns:
-                        self._connection.execute(
+                        connection.execute(
                             f"ALTER TABLE jobs ADD COLUMN {name} {kind}"
                         )
                 return
             # SQLite cannot alter a CHECK constraint: rename, then fall
             # through to the (resumable) recreate-copy-drop below.
-            self._connection.execute("ALTER TABLE jobs RENAME TO jobs_migrating")
-        self._connection.execute(_JOBS_DDL)
-        self._connection.execute(
+            connection.execute("ALTER TABLE jobs RENAME TO jobs_migrating")
+        connection.execute(_JOBS_DDL)
+        connection.execute(
             f"INSERT OR IGNORE INTO jobs ({_V1_COLUMNS})"
             f" SELECT {_V1_COLUMNS} FROM jobs_migrating"
         )
-        self._connection.execute("DROP TABLE jobs_migrating")
+        connection.execute("DROP TABLE jobs_migrating")
 
     def close(self) -> None:
-        with self._lock:
-            self._connection.close()
+        """Close every pooled connection; subsequent use raises
+        ``sqlite3.ProgrammingError`` (the signal the server's shutdown paths
+        already handle)."""
+        if self._memory:
+            self._closed = True
+            with self._serial:
+                self._memory_conn.close()
+            return
+        with self._pool_lock:
+            # Under the pool lock, so no racing thread can register a fresh
+            # connection after the drain (see _connection's re-check).
+            self._closed = True
+            entries, self._pool = self._pool, []
+        for _, connection in entries:
+            try:
+                connection.close()
+            except sqlite3.ProgrammingError:  # pragma: no cover - owner racing us
+                pass
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -313,11 +544,11 @@ class JobStore:
         to the submitter.
         """
         now = self._now()
-        with self._lock, self._connection:
-            for attempt in range(16):
-                job_id = uuid.uuid4().hex[:12]
-                try:
-                    self._connection.execute(
+        for attempt in range(16):
+            job_id = uuid.uuid4().hex[:12]
+            try:
+                with self._write() as conn:
+                    conn.execute(
                         "INSERT INTO jobs (id, fingerprint, system_name, property_name,"
                         " label, status, cache_hit, ttl_seconds, deadline_ms,"
                         " submitted_at, system_json, property_json, options_json)"
@@ -336,16 +567,21 @@ class JobStore:
                             json.dumps(job.options_dict),
                         ),
                     )
-                    break
-                except sqlite3.IntegrityError:
-                    if attempt == 15:  # pragma: no cover - 16 collisions in a row
-                        raise
-        stored = self.get_job(job_id)
-        assert stored is not None
-        return stored
+                    row = conn.execute(
+                        "SELECT * FROM jobs WHERE id = ?", (job_id,)
+                    ).fetchone()
+                return StoredJob._from_row(row)
+            except sqlite3.IntegrityError:
+                if attempt == 15:  # pragma: no cover - 16 collisions in a row
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def claim_next(self, worker_id: Optional[str] = None) -> Optional[StoredJob]:
         """Atomically pop the oldest claimable ``queued`` job, marking it ``running``.
+
+        One ``BEGIN IMMEDIATE`` transaction, so each queued job is handed to
+        exactly one worker even when several server *processes* claim from
+        the same store file concurrently.
 
         A queued job whose fingerprint is already ``running`` on another
         worker is not claimable yet: claiming it would verify the same
@@ -355,51 +591,106 @@ class JobStore:
         claimed and verified in its own right).
 
         ``worker_id`` records who claimed the job (``claimed_by``) and stamps
-        an initial heartbeat; process-worker claims keep the heartbeat fresh
-        via :meth:`heartbeat` so :meth:`requeue_stale` can detect dead
-        workers.  Claims without a ``worker_id`` (the in-process thread
-        model) never heartbeat and are never considered stale.
+        an initial heartbeat; workers keep the heartbeat fresh via
+        :meth:`heartbeat` / :meth:`touch_claim` so :meth:`requeue_stale` can
+        detect dead workers.  Claims without a ``worker_id`` never heartbeat
+        and are never considered stale.
         """
-        with self._lock, self._connection:
-            row = self._connection.execute(
-                "SELECT * FROM jobs WHERE status = 'queued' AND fingerprint NOT IN"
-                " (SELECT fingerprint FROM jobs WHERE status = 'running')"
-                " ORDER BY submitted_at, rowid LIMIT 1"
-            ).fetchone()
+        candidate_sql = (
+            "SELECT id FROM jobs WHERE status = 'queued' AND fingerprint NOT IN"
+            " (SELECT fingerprint FROM jobs WHERE status = 'running')"
+            " ORDER BY submitted_at, rowid LIMIT 1"
+        )
+        # Cheap lock-free peek first: idle workers poll this at ~10 Hz per
+        # slot across every server, and an empty queue must not cost the
+        # fleet a continuous stream of cross-process write-lock
+        # acquisitions.  The candidate is re-selected inside the write
+        # transaction, so a racing claimer is still excluded.
+        with self._read() as conn:
+            if conn.execute(candidate_sql).fetchone() is None:
+                return None
+        with self._write() as conn:
+            row = conn.execute(candidate_sql).fetchone()
             if row is None:
                 return None
             now = self._now()
-            self._connection.execute(
+            conn.execute(
                 "UPDATE jobs SET status = 'running', started_at = ?,"
                 " claimed_by = ?, heartbeat_at = ? WHERE id = ?",
-                (now, worker_id, now if worker_id is not None else None, row["id"]),
+                (
+                    now,
+                    worker_id,
+                    self._shared_now() if worker_id is not None else None,
+                    row["id"],
+                ),
             )
-        return self.get_job(row["id"])
+            claimed = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (row["id"],)
+            ).fetchone()
+        return StoredJob._from_row(claimed)
 
-    def heartbeat(self, job_id: str) -> None:
-        """Refresh a running job's liveness stamp (process-worker claims)."""
-        with self._lock, self._connection:
-            self._connection.execute(
-                "UPDATE jobs SET heartbeat_at = ? WHERE id = ? AND status = 'running'",
-                (self._now(), job_id),
+    def heartbeat(self, job_id: str, worker_id: Optional[str] = None) -> bool:
+        """Refresh a running job's liveness stamp; returns whether it landed.
+
+        The stamp lands only while *worker_id* still owns the claim
+        (``claimed_by`` matches -- ``NULL`` claims match ``worker_id=None``),
+        so after :meth:`requeue_stale` hands the job to a new worker the dead
+        worker's heartbeats bounce instead of keeping it alive forever.
+        The ownership semantics live in :meth:`touch_claim` (the superset
+        the workers use); this is the plain liveness-only form.
+        """
+        return self.touch_claim(job_id, worker_id)[0]
+
+    def touch_claim(self, job_id: str, worker_id: Optional[str]) -> Tuple[bool, bool]:
+        """Heartbeat + cancel-flag read in one transaction.
+
+        Returns ``(still_owned, cancel_requested)``: the liveness stamp lands
+        only if *worker_id* still owns the claim (exactly like
+        :meth:`heartbeat`), and ``cancel_requested`` reports the persisted
+        cooperative-cancel flag -- which may have been set by *another
+        server* sharing the store, so workers polling this see cross-server
+        DELETEs.  ``(False, False)`` when the job no longer exists.
+
+        Runs with the short heartbeat busy timeout: under pathological
+        write contention it raises ``sqlite3.OperationalError`` quickly
+        (callers skip the tick and retry) instead of blocking past the
+        staleness window.
+        """
+        with self._write(
+            busy_timeout_seconds=self.heartbeat_busy_timeout_seconds
+        ) as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET heartbeat_at = ? WHERE id = ?"
+                " AND status = 'running' AND claimed_by IS ?",
+                (self._shared_now(), job_id, worker_id),
             )
+            row = conn.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            return cursor.rowcount > 0, bool(row and row["cancel_requested"])
 
-    def release(self, job_id: str) -> bool:
+    def release(self, job_id: str, worker_id: Optional[str] = None) -> bool:
         """Return one ``running`` job to the queue (its worker died mid-run).
 
-        No-op (returns False) unless the job is currently ``running``; a job
-        whose cancellation was already requested is finalised as
-        ``cancelled`` instead of being resurrected.
+        No-op (returns False) unless the job is currently ``running`` **and**
+        still claimed by *worker_id* -- a crashed worker's cleanup can race
+        the stale-heartbeat sweeper, and without the ownership predicate it
+        would yank a job that was already rescued and re-claimed elsewhere,
+        aborting a healthy run.  A job whose cancellation was already
+        requested is finalised as ``cancelled`` instead of being resurrected.
         """
-        with self._lock, self._connection:
-            row = self._connection.execute(
-                "SELECT status, cancel_requested FROM jobs WHERE id = ?", (job_id,)
+        with self._write() as conn:
+            row = conn.execute(
+                "SELECT status, cancel_requested, claimed_by FROM jobs WHERE id = ?",
+                (job_id,),
             ).fetchone()
             if row is None or row["status"] != "running":
                 return False
+            if row["claimed_by"] != worker_id:
+                return False
             if row["cancel_requested"]:
                 now = self._now()
-                self._connection.execute(
+                conn.execute(
                     "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
                     " claimed_by = NULL, heartbeat_at = NULL,"
                     " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
@@ -407,7 +698,7 @@ class JobStore:
                     (now, now, job_id),
                 )
                 return True
-            self._connection.execute(
+            conn.execute(
                 "UPDATE jobs SET status = 'queued', started_at = NULL,"
                 " claimed_by = NULL, heartbeat_at = NULL WHERE id = ?",
                 (job_id,),
@@ -417,15 +708,22 @@ class JobStore:
     def requeue_stale(self, max_age_seconds: float) -> int:
         """Re-queue ``running`` jobs whose heartbeat went stale; returns the count.
 
-        Only heartbeat-carrying claims (process workers) are eligible --
-        thread-model claims never heartbeat, so a long thread-run is never
-        mistaken for a dead worker.  Stale jobs with a pending cancel are
-        finalised ``cancelled`` rather than requeued.
+        Only heartbeat-carrying claims are eligible -- claims without a
+        ``worker_id`` never heartbeat, so they are never mistaken for a dead
+        worker.  Stale jobs with a pending cancel are finalised ``cancelled``
+        rather than requeued.  Both timestamps are computed *inside* the
+        transaction (a pre-lock cutoff could drift from the stamps under
+        contention), each on the clock family its comparison needs: the
+        staleness cutoff uses the *shared* clock -- the one heartbeat stamps
+        are written with, so both sides of the comparison agree even after
+        the sweeping host was suspended -- while the ``finished_at`` /
+        ``expires_at`` stamps stay on the plain store clock like every other
+        TTL stamp (:meth:`sweep_expired` compares them against it).
         """
-        cutoff = self._now() - max_age_seconds
-        with self._lock, self._connection:
+        with self._write() as conn:
             now = self._now()
-            self._connection.execute(
+            cutoff = self._shared_now() - max_age_seconds
+            conn.execute(
                 "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
                 " claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
@@ -434,7 +732,7 @@ class JobStore:
                 " AND heartbeat_at IS NOT NULL AND heartbeat_at <= ?",
                 (now, now, cutoff),
             )
-            cursor = self._connection.execute(
+            cursor = conn.execute(
                 "UPDATE jobs SET status = 'queued', started_at = NULL,"
                 " claimed_by = NULL, heartbeat_at = NULL"
                 " WHERE status = 'running' AND cancel_requested = 0"
@@ -449,6 +747,7 @@ class JobStore:
         result: Dict[str, Any],
         cache_hit: bool = False,
         persist_result: bool = True,
+        worker_id: Optional[str] = None,
     ) -> bool:
         """Record a finished job and persist its result under the fingerprint.
 
@@ -458,17 +757,17 @@ class JobStore:
         fingerprint, so they can never be served as cache hits to jobs
         without that limit.
 
-        Terminal states are never overwritten: if the job already landed
-        ``done``/``error``/``cancelled`` (e.g. a stale-heartbeat rescue
-        requeued it and the rescued copy was cancelled while this worker's
-        result was still in flight), the jobs-row update is skipped and
-        ``False`` is returned.  The computed result itself is still
-        persisted under the fingerprint when eligible -- verification is
-        deterministic, so the verdict is valid regardless of which claim
-        produced it.
+        Terminal states are never overwritten, and when *worker_id* is given
+        the update additionally lands only while that worker still owns the
+        claim: a zombie whose job was rescued, re-claimed and re-run
+        elsewhere cannot overwrite the live claim's state even before it
+        turns terminal.  A mark that does not land returns ``False``.  The
+        computed result itself is still persisted under the fingerprint when
+        eligible -- verification is deterministic, so the verdict is valid
+        regardless of which claim produced it.
         """
-        with self._lock, self._connection:
-            row = self._connection.execute(
+        with self._write() as conn:
+            row = conn.execute(
                 "SELECT fingerprint FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
             if row is None:
@@ -478,62 +777,82 @@ class JobStore:
                 # The read-through cache usually persisted the result already
                 # (results are deterministic per fingerprint): skip the
                 # redundant serialize-and-write on the hot path.
-                exists = self._connection.execute(
+                exists = conn.execute(
                     "SELECT 1 FROM results WHERE fingerprint = ?", (row["fingerprint"],)
                 ).fetchone()
                 if exists is None:
-                    self._put_result_locked(row["fingerprint"], result)
+                    self._put_result_txn(conn, row["fingerprint"], result)
             else:
                 partial_json = json.dumps(result)
             now = self._now()
-            cursor = self._connection.execute(
+            cursor = conn.execute(
                 "UPDATE jobs SET status = 'done', cache_hit = ?, finished_at = ?,"
                 " partial_json = ?, claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
                 "   THEN ? + ttl_seconds ELSE NULL END,"
                 " error = NULL"
-                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')",
-                (1 if cache_hit else 0, now, partial_json, now, job_id),
+                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')"
+                " AND (? IS NULL OR claimed_by IS ?)",
+                (
+                    1 if cache_hit else 0,
+                    now,
+                    partial_json,
+                    now,
+                    job_id,
+                    worker_id,
+                    worker_id,
+                ),
             )
             return cursor.rowcount > 0
 
-    def mark_error(self, job_id: str, message: str) -> bool:
-        """Land the ``error`` state; no-op (False) on already-terminal jobs."""
-        with self._lock, self._connection:
+    def mark_error(
+        self, job_id: str, message: str, worker_id: Optional[str] = None
+    ) -> bool:
+        """Land the ``error`` state; no-op (False) on already-terminal jobs or
+        when *worker_id* (if given) no longer owns the claim."""
+        with self._write() as conn:
             now = self._now()
-            cursor = self._connection.execute(
+            cursor = conn.execute(
                 "UPDATE jobs SET status = 'error', error = ?, finished_at = ?,"
                 " claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
                 "   THEN ? + ttl_seconds ELSE NULL END"
-                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')",
-                (message, now, now, job_id),
+                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')"
+                " AND (? IS NULL OR claimed_by IS ?)",
+                (message, now, now, job_id, worker_id, worker_id),
             )
             return cursor.rowcount > 0
 
     def mark_cancelled(
-        self, job_id: str, partial_result: Optional[Dict[str, Any]] = None
+        self,
+        job_id: str,
+        partial_result: Optional[Dict[str, Any]] = None,
+        worker_id: Optional[str] = None,
     ) -> bool:
         """Land the terminal ``cancelled`` state, keeping any partial result.
 
         The partial result (an ``UNKNOWN`` verdict with the statistics
         gathered before the stop) lives on the job row only -- never in the
         ``results`` table, so it can never satisfy a cache lookup.  No-op
-        (False) on already-terminal jobs.
+        (False) on already-terminal jobs or when *worker_id* (if given) no
+        longer owns the claim.
         """
-        with self._lock, self._connection:
+        with self._write() as conn:
             now = self._now()
-            cursor = self._connection.execute(
+            cursor = conn.execute(
                 "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
                 " partial_json = ?, claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
                 "   THEN ? + ttl_seconds ELSE NULL END"
-                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')",
+                " WHERE id = ? AND status NOT IN ('done', 'error', 'cancelled')"
+                " AND (? IS NULL OR claimed_by IS ?)",
                 (
                     now,
                     json.dumps(partial_result) if partial_result is not None else None,
                     now,
                     job_id,
+                    worker_id,
+                    worker_id,
                 ),
             )
             return cursor.rowcount > 0
@@ -546,27 +865,29 @@ class JobStore:
         ``"cancelled"`` for a queued job (terminal immediately -- no worker
         ever sees it), ``"cancelling"`` for a running one (the
         ``cancel_requested`` flag is persisted; the owning worker's token is
-        tripped by the server), or the unchanged terminal status.  ``fresh``
-        is True only when *this* call changed something, so repeated DELETEs
-        don't inflate metrics or append duplicate events.
+        tripped by its server, and workers on *other* servers observe the
+        flag through :meth:`touch_claim` / :meth:`is_cancel_requested`), or
+        the unchanged terminal status.  ``fresh`` is True only when *this*
+        call changed something, so repeated DELETEs don't inflate metrics or
+        append duplicate events.
 
         The ``cancel`` event is appended in the same transaction, *before*
         the status flips terminal: a poller that observes ``terminal`` is
         guaranteed the event log is already complete.
         """
-        with self._lock, self._connection:
-            row = self._connection.execute(
+        with self._write() as conn:
+            row = conn.execute(
                 "SELECT status, cancel_requested FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
             if row is None:
                 return None
             status = row["status"]
             if status == "queued":
-                self._append_event_locked(
-                    job_id, "cancel", {"data": {"disposition": "cancelled"}}
+                self._append_event_txn(
+                    conn, job_id, "cancel", {"data": {"disposition": "cancelled"}}
                 )
                 now = self._now()
-                self._connection.execute(
+                conn.execute(
                     "UPDATE jobs SET status = 'cancelled', cancel_requested = 1,"
                     " finished_at = ?,"
                     " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
@@ -577,57 +898,157 @@ class JobStore:
             if status == "running":
                 if row["cancel_requested"]:
                     return "cancelling", False
-                self._append_event_locked(
-                    job_id, "cancel", {"data": {"disposition": "cancelling"}}
+                self._append_event_txn(
+                    conn, job_id, "cancel", {"data": {"disposition": "cancelling"}}
                 )
-                self._connection.execute(
+                conn.execute(
                     "UPDATE jobs SET cancel_requested = 1 WHERE id = ?", (job_id,)
                 )
                 return "cancelling", True
             return status, False
 
     def is_cancel_requested(self, job_id: str) -> bool:
-        with self._lock:
-            row = self._connection.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
         return bool(row and row["cancel_requested"])
 
-    def requeue_running(self) -> int:
+    def requeue_running(
+        self,
+        owner_prefix: Optional[str] = None,
+        heartbeat_grace_seconds: Optional[float] = None,
+    ) -> int:
         """Re-queue jobs left ``running`` by a dead process; returns the count.
+
+        ``owner_prefix`` scopes the repair for shared-store deployments: only
+        jobs whose ``claimed_by`` starts with the prefix (this server's own
+        workers from a previous incarnation) or carries no claim at all are
+        requeued -- jobs running live on *other* servers are left alone.
+        ``None`` keeps the legacy single-server behaviour (everything).
+
+        ``heartbeat_grace_seconds`` additionally spares heartbeat-carrying
+        claims whose stamp is younger than the grace: during a rolling
+        restart, the replacement server starts while the old same-id
+        instance is still draining (and heartbeating) its last jobs --
+        without the grace, startup recovery would yank live, nearly-finished
+        work.  Claims with no heartbeat at all are always eligible.
 
         Interrupted jobs whose cancellation was already requested are *not*
         requeued: the cancel was accepted before the crash, so they land in
         the terminal ``cancelled`` state instead (see
         :meth:`cancel_interrupted`, which recovery runs first).
         """
-        with self._lock, self._connection:
-            cursor = self._connection.execute(
+        with self._write() as conn:
+            cutoff = self._heartbeat_cutoff(heartbeat_grace_seconds)
+            cursor = conn.execute(
                 "UPDATE jobs SET status = 'queued', started_at = NULL,"
                 " claimed_by = NULL, heartbeat_at = NULL"
                 " WHERE status = 'running' AND cancel_requested = 0"
+                " AND (? IS NULL OR claimed_by IS NULL"
+                "      OR substr(claimed_by, 1, ?) = ?)"
+                " AND (heartbeat_at IS NULL OR ? IS NULL OR heartbeat_at <= ?)",
+                (
+                    owner_prefix,
+                    len(owner_prefix or ""),
+                    owner_prefix,
+                    cutoff,
+                    cutoff,
+                ),
             )
             return cursor.rowcount
 
-    def cancel_interrupted(self) -> int:
-        """Finalise ``running`` jobs with a pending cancel as ``cancelled``."""
-        with self._lock, self._connection:
+    def cancel_interrupted(
+        self,
+        owner_prefix: Optional[str] = None,
+        heartbeat_grace_seconds: Optional[float] = None,
+    ) -> int:
+        """Finalise ``running`` jobs with a pending cancel as ``cancelled``.
+
+        Scoped by ``owner_prefix`` and ``heartbeat_grace_seconds`` exactly
+        like :meth:`requeue_running` (a still-heartbeating claim will honour
+        its cancel itself).
+        """
+        with self._write() as conn:
             now = self._now()
-            cursor = self._connection.execute(
+            cutoff = self._heartbeat_cutoff(heartbeat_grace_seconds)
+            cursor = conn.execute(
                 "UPDATE jobs SET status = 'cancelled', finished_at = ?,"
                 " claimed_by = NULL, heartbeat_at = NULL,"
                 " expires_at = CASE WHEN ttl_seconds IS NOT NULL"
                 "   THEN ? + ttl_seconds ELSE NULL END"
-                " WHERE status = 'running' AND cancel_requested = 1",
-                (now, now),
+                " WHERE status = 'running' AND cancel_requested = 1"
+                " AND (? IS NULL OR claimed_by IS NULL"
+                "      OR substr(claimed_by, 1, ?) = ?)"
+                " AND (heartbeat_at IS NULL OR ? IS NULL OR heartbeat_at <= ?)",
+                (
+                    now,
+                    now,
+                    owner_prefix,
+                    len(owner_prefix or ""),
+                    owner_prefix,
+                    cutoff,
+                    cutoff,
+                ),
             )
             return cursor.rowcount
+
+    def _heartbeat_cutoff(self, grace_seconds: Optional[float]) -> Optional[float]:
+        """Shared-clock staleness cutoff for a grace window (``None``: no limit)."""
+        if grace_seconds is None:
+            return None
+        return self._shared_now() - grace_seconds
+
+    # ------------------------------------------------------------------- leases
+
+    def acquire_lease(self, name: str, owner: str, ttl_seconds: float) -> bool:
+        """Take (or renew) the named advisory lease; returns whether it is held.
+
+        A lease is free when absent or expired; the current holder renews
+        unconditionally.  Servers sharing one store use this to elect a
+        single sweeper: only the ``"sweeper"`` lease holder runs TTL expiry
+        and stale-claim rescue, so N servers don't race each other over
+        global repairs.  Expiry stamps use the shared clock
+        (:meth:`_shared_now`) so they stay comparable between processes
+        even after a host suspend.
+        """
+        with self._write() as conn:
+            now = self._shared_now()
+            row = conn.execute(
+                "SELECT owner, expires_at FROM leases WHERE name = ?", (name,)
+            ).fetchone()
+            if row is not None and row["owner"] != owner and row["expires_at"] > now:
+                return False
+            conn.execute(
+                "INSERT OR REPLACE INTO leases (name, owner, expires_at)"
+                " VALUES (?, ?, ?)",
+                (name, owner, now + ttl_seconds),
+            )
+            return True
+
+    def release_lease(self, name: str, owner: str) -> bool:
+        """Drop the named lease if *owner* holds it (e.g. on graceful stop)."""
+        with self._write() as conn:
+            cursor = conn.execute(
+                "DELETE FROM leases WHERE name = ? AND owner = ?", (name, owner)
+            )
+            return cursor.rowcount > 0
+
+    def lease_holder(self, name: str) -> Optional[str]:
+        """The current (unexpired) holder of the named lease, or ``None``."""
+        with self._read() as conn:
+            row = conn.execute(
+                "SELECT owner, expires_at FROM leases WHERE name = ?", (name,)
+            ).fetchone()
+        if row is None or row["expires_at"] <= self._shared_now():
+            return None
+        return row["owner"]
 
     # ------------------------------------------------------------------ queries
 
     def get_job(self, job_id: str) -> Optional[StoredJob]:
-        with self._lock:
-            row = self._connection.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
         return StoredJob._from_row(row) if row is not None else None
@@ -645,14 +1066,14 @@ class JobStore:
             parameters.append(status)
         query += " ORDER BY submitted_at DESC, rowid DESC LIMIT ?"
         parameters.append(max(0, limit))
-        with self._lock:
-            rows = self._connection.execute(query, parameters).fetchall()
+        with self._read() as conn:
+            rows = conn.execute(query, parameters).fetchall()
         return [StoredJob._from_row(row) for row in rows]
 
     def counts(self) -> Dict[str, int]:
         """Jobs per status (every status present, zero when empty)."""
-        with self._lock:
-            rows = self._connection.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
             ).fetchall()
         counts = {status: 0 for status in JOB_STATUSES}
@@ -669,62 +1090,73 @@ class JobStore:
         the store hit/miss counters; status polling passes ``count=False`` so
         it cannot skew the cache-effectiveness metrics.
         """
-        with self._lock:
-            row = self._connection.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT result_json FROM results WHERE fingerprint = ?", (fingerprint,)
             ).fetchone()
-            if row is None:
-                if count:
+        if count:
+            with self._stats_lock:
+                if row is None:
                     self.store_misses += 1
-                return None
-            if count:
-                self.store_hits += 1
-            return json.loads(row["result_json"])
+                else:
+                    self.store_hits += 1
+        return json.loads(row["result_json"]) if row is not None else None
 
     def has_result(self, fingerprint: str) -> bool:
         """Whether a result is persisted, without touching the hit/miss counters."""
-        with self._lock:
-            row = self._connection.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
             ).fetchone()
         return row is not None
 
     def put_result(self, fingerprint: str, result: Dict[str, Any]) -> None:
-        with self._lock, self._connection:
-            self._put_result_locked(fingerprint, result)
+        with self._write() as conn:
+            self._put_result_txn(conn, fingerprint, result)
 
-    def _put_result_locked(self, fingerprint: str, result: Dict[str, Any]) -> None:
-        self._connection.execute(
+    def _put_result_txn(
+        self, conn: sqlite3.Connection, fingerprint: str, result: Dict[str, Any]
+    ) -> None:
+        conn.execute(
             "INSERT OR REPLACE INTO results (fingerprint, result_json, created_at)"
             " VALUES (?, ?, ?)",
             (fingerprint, json.dumps(result), self._now()),
         )
 
     def result_count(self) -> int:
-        with self._lock:
-            return self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._read() as conn:
+            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
     # ------------------------------------------------------------------- events
 
-    def append_event(self, job_id: str, kind: str, payload: Dict[str, Any]) -> int:
+    def append_event(
+        self,
+        job_id: str,
+        kind: str,
+        payload: Dict[str, Any],
+        busy_timeout_seconds: Optional[float] = None,
+    ) -> int:
         """Append one progress event to the job's log; returns its ``seq``.
 
-        Sequence numbers are store-assigned (``MAX(seq) + 1`` under the
-        store lock) so they stay strictly increasing across restarts and
-        re-runs of the same job.
+        Sequence numbers are store-assigned (``MAX(seq) + 1`` inside the
+        write transaction) so they stay strictly increasing across restarts,
+        re-runs of the same job, and concurrent appenders in other server
+        processes.  ``busy_timeout_seconds`` lets callers on a
+        heartbeat-critical thread fail fast (and drop a lossy progress
+        event) instead of blocking on a contended write lock.
         """
-        with self._lock, self._connection:
-            return self._append_event_locked(job_id, kind, payload)
+        with self._write(busy_timeout_seconds=busy_timeout_seconds) as conn:
+            return self._append_event_txn(conn, job_id, kind, payload)
 
-    def _append_event_locked(
-        self, job_id: str, kind: str, payload: Dict[str, Any]
+    def _append_event_txn(
+        self, conn: sqlite3.Connection, job_id: str, kind: str, payload: Dict[str, Any]
     ) -> int:
-        row = self._connection.execute(
+        row = conn.execute(
             "SELECT COALESCE(MAX(seq), 0) + 1 FROM events WHERE job_id = ?",
             (job_id,),
         ).fetchone()
         seq = row[0]
-        self._connection.execute(
+        conn.execute(
             "INSERT INTO events (job_id, seq, created_at, kind, payload)"
             " VALUES (?, ?, ?, ?, ?)",
             (job_id, seq, self._now(), kind, json.dumps(payload)),
@@ -735,8 +1167,8 @@ class JobStore:
         self, job_id: str, cursor: int = 0, limit: int = 500
     ) -> List[Dict[str, Any]]:
         """Events with ``seq > cursor``, oldest first (the polling primitive)."""
-        with self._lock:
-            rows = self._connection.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT seq, created_at, kind, payload FROM events"
                 " WHERE job_id = ? AND seq > ? ORDER BY seq LIMIT ?",
                 (job_id, cursor, max(0, limit)),
@@ -752,8 +1184,8 @@ class JobStore:
         ]
 
     def event_count(self, job_id: str) -> int:
-        with self._lock:
-            return self._connection.execute(
+        with self._read() as conn:
+            return conn.execute(
                 "SELECT COUNT(*) FROM events WHERE job_id = ?", (job_id,)
             ).fetchone()[0]
 
@@ -770,10 +1202,10 @@ class JobStore:
         immortalise jobs.
         """
         now = self._now() if now is None else now
-        with self._lock, self._connection:
+        with self._write() as conn:
             expired = [
                 row["id"]
-                for row in self._connection.execute(
+                for row in conn.execute(
                     "SELECT id FROM jobs WHERE expires_at IS NOT NULL"
                     " AND expires_at <= ? AND status IN ('done', 'error', 'cancelled')",
                     (now,),
@@ -782,23 +1214,25 @@ class JobStore:
             if not expired:
                 return {"jobs": 0, "events": 0, "results": 0}
             placeholders = ",".join("?" for _ in expired)
-            events = self._connection.execute(
+            events = conn.execute(
                 f"DELETE FROM events WHERE job_id IN ({placeholders})", expired
             ).rowcount
-            self._connection.execute(
+            conn.execute(
                 f"DELETE FROM jobs WHERE id IN ({placeholders})", expired
             )
-            results = self._connection.execute(
+            results = conn.execute(
                 "DELETE FROM results WHERE fingerprint NOT IN"
                 " (SELECT fingerprint FROM jobs)"
             ).rowcount
             return {"jobs": len(expired), "events": events, "results": results}
 
     def statistics(self) -> Dict[str, int]:
+        with self._stats_lock:
+            hits, misses = self.store_hits, self.store_misses
         return {
             "results": self.result_count(),
-            "store_hits": self.store_hits,
-            "store_misses": self.store_misses,
+            "store_hits": hits,
+            "store_misses": misses,
         }
 
 

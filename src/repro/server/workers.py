@@ -24,17 +24,24 @@ owning one child process:
   up the pipe; the agent drains them into the store's events table, so
   ``GET /v1/jobs/<id>/events`` observes a process-worker search exactly as
   it would a thread-worker one;
-* while draining, the agent refreshes the job's store heartbeat, so
-  :meth:`~repro.server.store.JobStore.requeue_stale` (run by the server's
-  sweeper) can rescue jobs whose *agent* died -- the belt to the braces of
-  the agent's own child-liveness check.
+* while draining, the agent *syncs* its claim with the store once per
+  heartbeat interval (:meth:`~repro.server.store.JobStore.touch_claim`): the
+  heartbeat is refreshed only while the agent still owns the claim -- so
+  :meth:`~repro.server.store.JobStore.requeue_stale` (run by whichever
+  server holds the sweeper lease) can rescue jobs whose *agent* died, and a
+  zombie agent whose job was already rescued cannot keep it alive -- and the
+  persisted ``cancel_requested`` flag is read back, so a ``DELETE`` accepted
+  by **any server sharing the store** stops this child within one heartbeat
+  interval.
 
 Cancellation crosses the process boundary through a shared
 ``multiprocessing.Event``: the child's
 :class:`~repro.core.control.CancellationToken` polls ``event.is_set`` (the
 token's *external* backend) once per search-loop iteration, so
-``DELETE /v1/jobs/<id>`` stops a hot search within its poll interval and the
-partial statistics travel back like any other result.
+``DELETE /v1/jobs/<id>`` -- handled locally, or observed from the store's
+``cancel_requested`` flag when a peer server accepted it -- stops a hot
+search within its poll interval and the partial statistics travel back like
+any other result.
 
 Workers are spawn-safe (the ``spawn`` start method is used everywhere --- no
 fork-inherited locks) and **recycled** after ``max_jobs_per_worker`` jobs,
@@ -49,6 +56,7 @@ is spawned in its place.
 from __future__ import annotations
 
 import multiprocessing
+import sqlite3
 import threading
 import time
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
@@ -182,7 +190,10 @@ class ProcessWorkerAgent(threading.Thread):
     """
 
     def __init__(self, server: "VerificationServer", index: int):
-        self.worker_id = f"proc-{index}"
+        # The server-id prefix makes the claim attributable in shared-store
+        # deployments: startup recovery requeues only own-prefix claims, and
+        # operators can read `claimed_by` to see which server runs a job.
+        self.worker_id = f"{server.worker_id_prefix}proc-{index}"
         super().__init__(name=f"repro-agent-{index}", daemon=True)
         self.server = server
         self.context = multiprocessing.get_context(START_METHOD)
@@ -268,8 +279,13 @@ class ProcessWorkerAgent(threading.Thread):
         while not self.server._stop_event.is_set():
             try:
                 stored = self.server.store.claim_next(worker_id=self.worker_id)
-            except Exception:  # store closed mid-shutdown
+            except sqlite3.ProgrammingError:  # store closed mid-shutdown
                 return
+            except Exception:
+                # Transient store trouble (e.g. busy timeout exhausted):
+                # keep the slot alive, retry shortly.
+                time.sleep(0.5)
+                continue
             if stored is None:
                 self.server._wakeup.wait(timeout=0.1)
                 self.server._wakeup.clear()
@@ -282,7 +298,7 @@ class ProcessWorkerAgent(threading.Thread):
                 # off (monotonic sleep; wall-clock steps cannot starve us).
                 self._spawn_failures += 1
                 try:
-                    self.server.store.release(stored.id)
+                    self.server.store.release(stored.id, self.worker_id)
                 except Exception:  # pragma: no cover - store closed
                     return
                 time.sleep(min(5.0, 0.25 * (2 ** min(self._spawn_failures, 5))))
@@ -303,7 +319,9 @@ class ProcessWorkerAgent(threading.Thread):
                     "done",
                     {"data": {"outcome": cached.outcome.value, "cache_hit": True}},
                 )
-                server._finalize_result(stored, cached, True, False, started)
+                server._finalize_result(
+                    stored, cached, True, False, started, owner=self.worker_id
+                )
                 gauges.increment(self.worker_id, "jobs_completed")
                 return
 
@@ -339,11 +357,17 @@ class ProcessWorkerAgent(threading.Thread):
     def _drain(self, stored: "StoredJob", started: float) -> str:
         """Pump child messages into the store until the job reaches an end.
 
-        Returns ``"done"``, ``"error"`` or ``"crashed"``.  Keeps the job's
-        store heartbeat fresh while the search runs.
+        Returns ``"done"``, ``"error"`` or ``"crashed"``.  Once per
+        ``heartbeat_interval`` the agent *syncs* the claim with the store
+        (one transaction): the heartbeat is refreshed only while this worker
+        still owns the claim, and the persisted ``cancel_requested`` flag is
+        read back -- so a ``DELETE`` handled by **another server** sharing
+        the store stops this child within one heartbeat interval, and a
+        claim rescued by a peer's stale sweeper makes this agent abandon the
+        (now zombie) run instead of keeping it alive.
         """
         server = self.server
-        last_heartbeat = time.monotonic()
+        last_sync = time.monotonic()
         while True:
             try:
                 if self._conn.poll(timeout=0.1):
@@ -355,16 +379,30 @@ class ProcessWorkerAgent(threading.Thread):
             if message is not None:
                 kind = message[0]
                 if kind == "event":
-                    server.store.append_event(
-                        stored.id, message[1], {"data": message[2]}
-                    )
+                    try:
+                        server.store.append_event(
+                            stored.id, message[1], {"data": message[2]},
+                            busy_timeout_seconds=(
+                                server.store.heartbeat_busy_timeout_seconds
+                            ),
+                        )
+                    except sqlite3.OperationalError:
+                        # Progress events are lossy observability: dropping
+                        # one beats blocking this thread past the staleness
+                        # window (it also runs the job's heartbeats).
+                        pass
                 elif kind == "done":
                     result = VerificationResult.from_dict(message[1])
                     truncated = deadline_ms_binding(stored) and result.stats.timed_out
-                    server._finalize_result(stored, result, False, truncated, started)
+                    server._finalize_result(
+                        stored, result, False, truncated, started,
+                        owner=self.worker_id,
+                    )
                     return "done"
                 elif kind == "error":
-                    if server.store.mark_error(stored.id, message[1]):
+                    if server.store.mark_error(
+                        stored.id, message[1], worker_id=self.worker_id
+                    ):
                         server.metrics.increment("jobs_failed")
                     return "error"
             elif not self.process.is_alive():
@@ -374,9 +412,23 @@ class ProcessWorkerAgent(threading.Thread):
                     continue
                 return "crashed"
             now = time.monotonic()
-            if now - last_heartbeat >= server.heartbeat_interval:
-                server.store.heartbeat(stored.id)
-                last_heartbeat = now
+            if now - last_sync >= server.heartbeat_interval:
+                try:
+                    owned, cancel_requested = server.store.touch_claim(
+                        stored.id, self.worker_id
+                    )
+                except sqlite3.OperationalError:
+                    # Heavily contended write (the heartbeat path fails fast
+                    # rather than blocking past the staleness window): skip
+                    # this tick, the claim is retried on the next one.
+                    owned, cancel_requested = True, False
+                if (cancel_requested or not owned) and not self._cancel_event.is_set():
+                    # Either a cancel arrived through the store (possibly
+                    # from another server), or we lost the claim to a stale
+                    # rescue -- in both cases the child should stop: its
+                    # verdict would bounce off the ownership predicate anyway.
+                    self._cancel_event.set()
+                last_sync = now
 
     def _handle_crash(self, stored: "StoredJob") -> None:
         """The child died mid-job: requeue through the recovery semantics."""
@@ -387,8 +439,10 @@ class ProcessWorkerAgent(threading.Thread):
         server.metrics.worker_gauges.increment(self.worker_id, "crashes")
         # Same rule as restart recovery: an accepted cancel is honoured
         # (finalise `cancelled`), otherwise the job re-queues -- verification
-        # is deterministic and idempotent, so a re-run is always safe.
-        released = server.store.release(stored.id)
+        # is deterministic and idempotent, so a re-run is always safe.  The
+        # ownership predicate makes this a no-op if a peer server's sweeper
+        # already rescued (and possibly re-claimed) the job.
+        released = server.store.release(stored.id, self.worker_id)
         if released:
             server.store.append_event(
                 stored.id,

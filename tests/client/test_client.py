@@ -55,6 +55,62 @@ class TestErrorMapping:
         assert VerifasClient("http://host:1/").base_url == "http://host:1"
 
 
+class TestUrlEscaping:
+    """Satellite: job ids (or attacker-controlled id strings) containing
+    `/`, `?`, `#` or spaces must neither break the request line nor resolve
+    to a different route -- every path segment and query value is escaped."""
+
+    @pytest.fixture
+    def requests(self, monkeypatch):
+        """Capture (method, path) of every request the client would send."""
+        client = VerifasClient("http://example.invalid")
+        captured = []
+
+        def fake_request(method, path, payload=None):
+            captured.append((method, path))
+            return 200, {"events": [], "terminal": True}
+
+        monkeypatch.setattr(client, "_request", fake_request)
+        return client, captured
+
+    def test_path_segments_are_percent_escaped(self, requests):
+        client, captured = requests
+        hostile = "a/b?c=1#frag x"
+        client.job(hostile)
+        client.cancel(hostile)
+        client.events(hostile, cursor=7, limit=9)
+        escaped = "a%2Fb%3Fc%3D1%23frag%20x"
+        assert captured == [
+            ("GET", f"/v1/jobs/{escaped}"),
+            ("DELETE", f"/v1/jobs/{escaped}"),
+            ("GET", f"/v1/jobs/{escaped}/events?cursor=7&limit=9"),
+        ]
+
+    def test_query_values_are_escaped(self, requests):
+        client, captured = requests
+        client.jobs(status="queued&limit=0", limit=5)
+        assert captured == [("GET", "/v1/jobs?limit=5&status=queued%26limit%3D0")]
+
+    def test_hostile_id_round_trips_to_a_clean_404(self, tmp_path):
+        """Against a live server: the escaped id reaches the job route (not
+        a surprise route or a broken request) and 404s with the id echoed."""
+        server = VerificationServer(store_path=tmp_path / "jobs.db", port=0, workers=0)
+        server.start()
+        try:
+            client = VerifasClient(server.url)
+            for hostile in ("a/b", "a?x=1", "a#frag", "a b", "../../metrics"):
+                with pytest.raises(ClientError) as excinfo:
+                    client.job(hostile)
+                assert excinfo.value.status == 404
+                assert "no job with id" in str(excinfo.value)
+                with pytest.raises(ClientError) as excinfo:
+                    client.cancel(hostile)
+                assert excinfo.value.status == 404
+                assert "no job with id" in str(excinfo.value)
+        finally:
+            server.stop()
+
+
 class TestRemoteBatch:
     @pytest.fixture
     def spec_path(self, tiny_system, tmp_path):

@@ -23,6 +23,16 @@ def _job(system, ltl_property, **options):
     )
 
 
+def _distinct_jobs(system, count):
+    """*count* jobs with distinct fingerprints (distinct state budgets)."""
+    from repro.has.conditions import Const, Eq, Var
+    from repro.ltl import LTLFOProperty, parse_ltl
+
+    prop = LTLFOProperty("Main", parse_ltl("F p"),
+                         {"p": Eq(Var("status"), Const("picked"))}, name="f-picked")
+    return [_job(system, prop, max_states=1000 + index) for index in range(count)]
+
+
 def _result(name="p") -> VerificationResult:
     return VerificationResult(
         outcome=VerificationOutcome.SATISFIED,
@@ -177,7 +187,7 @@ class TestWorkerClaims:
         assert claimed.claimed_by == "proc-0"
         assert claimed.heartbeat_at is not None
 
-    def test_thread_claims_never_heartbeat(self, store, sample_jobs):
+    def test_anonymous_claims_never_heartbeat(self, store, sample_jobs):
         store.submit(sample_jobs[0])
         claimed = store.claim_next()
         assert claimed.claimed_by is None and claimed.heartbeat_at is None
@@ -189,8 +199,34 @@ class TestWorkerClaims:
         stored = store.submit(sample_jobs[0])
         store.claim_next(worker_id="proc-0")
         before = store.get_job(stored.id).heartbeat_at
-        store.heartbeat(stored.id)
+        assert store.heartbeat(stored.id, "proc-0") is True
         assert store.get_job(stored.id).heartbeat_at >= before
+
+    def test_heartbeat_requires_ownership(self, store, sample_jobs):
+        """Satellite: after requeue_stale hands the job to a new worker, the
+        dead worker's agent must not be able to keep it alive forever."""
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.requeue_stale(0.0) == 1               # rescued
+        reclaimed = store.claim_next(worker_id="proc-1")
+        assert reclaimed.id == stored.id
+        stamp = store.get_job(stored.id).heartbeat_at
+        # The zombie's heartbeat bounces and leaves the stamp untouched...
+        assert store.heartbeat(stored.id, "proc-0") is False
+        assert store.get_job(stored.id).heartbeat_at == stamp
+        # ... while the live owner's lands.
+        assert store.heartbeat(stored.id, "proc-1") is True
+
+    def test_touch_claim_reports_ownership_and_cancel(self, store, sample_jobs):
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.touch_claim(stored.id, "proc-0") == (True, False)
+        # A cancel persisted by any server (here: directly) becomes visible.
+        store.request_cancel(stored.id)
+        assert store.touch_claim(stored.id, "proc-0") == (True, True)
+        # A non-owner refreshes nothing but still sees the flag.
+        assert store.touch_claim(stored.id, "proc-9") == (False, True)
+        assert store.touch_claim("missing", "proc-0") == (False, False)
 
     def test_requeue_stale_rescues_dead_worker_jobs(self, store, sample_jobs):
         stored = store.submit(sample_jobs[0])
@@ -211,7 +247,7 @@ class TestWorkerClaims:
     def test_release_requeues_a_running_job(self, store, sample_jobs):
         stored = store.submit(sample_jobs[0])
         store.claim_next(worker_id="proc-0")
-        assert store.release(stored.id) is True
+        assert store.release(stored.id, "proc-0") is True
         released = store.get_job(stored.id)
         assert released.status == "queued" and released.started_at is None
         assert released.claimed_by is None
@@ -220,7 +256,7 @@ class TestWorkerClaims:
         stored = store.submit(sample_jobs[0])
         store.claim_next(worker_id="proc-0")
         store.request_cancel(stored.id)
-        assert store.release(stored.id) is True
+        assert store.release(stored.id, "proc-0") is True
         assert store.get_job(stored.id).status == "cancelled"
 
     def test_release_is_a_no_op_off_running(self, store, sample_jobs):
@@ -231,6 +267,27 @@ class TestWorkerClaims:
         store.mark_done(stored.id, _result().as_dict())
         assert store.release(stored.id) is False   # terminal
         assert store.get_job(stored.id).status == "done"
+
+    def test_zombie_release_cannot_yank_a_rescued_job(self, store, sample_jobs):
+        """Satellite: a crashed worker's cleanup must not requeue (or
+        cancel-finalise) a job that was already rescued and re-claimed by a
+        healthy worker elsewhere."""
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.requeue_stale(0.0) == 1               # sweeper rescue
+        reclaimed = store.claim_next(worker_id="other:proc-3")
+        assert reclaimed.id == stored.id
+        # The dead worker's cleanup fires late: ownership predicate rejects it.
+        assert store.release(stored.id, "proc-0") is False
+        healthy = store.get_job(stored.id)
+        assert healthy.status == "running" and healthy.claimed_by == "other:proc-3"
+        # Same with a pending cancel: the zombie cannot finalise either.
+        store.request_cancel(stored.id)
+        assert store.release(stored.id, "proc-0") is False
+        assert store.get_job(stored.id).status == "running"
+        # The rightful owner still can.
+        assert store.release(stored.id, "other:proc-3") is True
+        assert store.get_job(stored.id).status == "cancelled"
 
     def test_zombie_finalizer_cannot_overwrite_a_terminal_state(
         self, store, sample_jobs
@@ -253,12 +310,207 @@ class TestWorkerClaims:
         store.claim_next()
         assert store.mark_done(other.id, _result().as_dict()) is True
 
+    def test_zombie_mark_cannot_land_on_a_reclaimed_running_job(
+        self, store, sample_jobs
+    ):
+        """Ownership predicate on mark_*: even while the rescued copy is
+        still `running` (not yet terminal), a zombie's verdict with the old
+        worker id must bounce -- only the live claim may finalise."""
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        assert store.requeue_stale(0.0) == 1
+        assert store.claim_next(worker_id="proc-1").id == stored.id
+        assert store.mark_done(stored.id, _result().as_dict(), worker_id="proc-0") is False
+        assert store.mark_error(stored.id, "late", worker_id="proc-0") is False
+        assert store.mark_cancelled(stored.id, None, worker_id="proc-0") is False
+        assert store.get_job(stored.id).status == "running"
+        assert store.mark_done(stored.id, _result().as_dict(), worker_id="proc-1") is True
+
     def test_terminal_transitions_clear_the_claim(self, store, sample_jobs):
         stored = store.submit(sample_jobs[0])
         store.claim_next(worker_id="proc-0")
         store.mark_done(stored.id, _result().as_dict())
         finished = store.get_job(stored.id)
         assert finished.claimed_by is None and finished.heartbeat_at is None
+
+    def test_requeue_stale_timestamps_come_from_one_clock_read(
+        self, store, sample_jobs, monkeypatch
+    ):
+        """Satellite: the staleness cutoff and the expires_at base must both
+        be computed inside the transaction -- under lock contention a
+        pre-transaction cutoff drifts from the `now` used for the stamps.
+        The stamps come from the first in-transaction `_now()` read; the
+        cutoff from the shared (wall-floored) clock heartbeats use."""
+        stored = store.submit(sample_jobs[0], ttl_seconds=10.0)
+        store.claim_next(worker_id="proc-0")
+        store.request_cancel(stored.id)
+        # The old pre-lock implementation read its cutoff before the
+        # transaction; with the iterator below its stamps would observe the
+        # bogus follow-up value (-1.0) instead of the first read.
+        clock = iter([1e12, -1.0, -1.0, -1.0])
+        monkeypatch.setattr(store, "_now", lambda: next(clock))
+        assert store.requeue_stale(0.0) == 0  # cancel-requested: finalised
+        finalised = store.get_job(stored.id)
+        assert finalised.status == "cancelled"
+        assert finalised.finished_at == 1e12
+        assert finalised.expires_at == 1e12 + 10.0
+
+
+class TestLeases:
+    def test_acquire_renew_and_contend(self, store):
+        assert store.acquire_lease("sweeper", "server-a", 60.0) is True
+        assert store.lease_holder("sweeper") == "server-a"
+        # The holder renews; a contender is refused while the lease is live.
+        assert store.acquire_lease("sweeper", "server-a", 60.0) is True
+        assert store.acquire_lease("sweeper", "server-b", 60.0) is False
+        assert store.lease_holder("sweeper") == "server-a"
+
+    def test_expired_lease_is_taken_over(self, store):
+        assert store.acquire_lease("sweeper", "server-a", 0.0) is True
+        assert store.lease_holder("sweeper") is None  # already expired
+        assert store.acquire_lease("sweeper", "server-b", 60.0) is True
+        assert store.lease_holder("sweeper") == "server-b"
+
+    def test_release_lease_requires_ownership(self, store):
+        store.acquire_lease("sweeper", "server-a", 60.0)
+        assert store.release_lease("sweeper", "server-b") is False
+        assert store.lease_holder("sweeper") == "server-a"
+        assert store.release_lease("sweeper", "server-a") is True
+        assert store.lease_holder("sweeper") is None
+        assert store.acquire_lease("sweeper", "server-b", 60.0) is True
+
+    def test_independent_lease_names(self, store):
+        assert store.acquire_lease("sweeper", "server-a", 60.0) is True
+        assert store.acquire_lease("recovery", "server-b", 60.0) is True
+
+
+class TestScopedRecovery:
+    """requeue_running / cancel_interrupted scoped to one server's claims:
+    a restarting server must not requeue jobs running live on its peers."""
+
+    def test_requeue_running_scoped_to_owner_prefix(self, store, tiny_system):
+        jobs = _distinct_jobs(tiny_system, 3)
+        mine = store.submit(jobs[0])
+        theirs = store.submit(jobs[1])
+        unclaimed = store.submit(jobs[2])
+        assert store.claim_next(worker_id="a:proc-0").id == mine.id
+        assert store.claim_next(worker_id="b:proc-0").id == theirs.id
+        assert store.claim_next().id == unclaimed.id
+        # Server a restarts: its own claim and the unattributable one
+        # requeue; server b's live job is left running.
+        assert store.requeue_running(owner_prefix="a:") == 2
+        assert store.get_job(mine.id).status == "queued"
+        assert store.get_job(unclaimed.id).status == "queued"
+        assert store.get_job(theirs.id).status == "running"
+        # The legacy unscoped call still repairs everything.
+        assert store.requeue_running() == 1
+        assert store.get_job(theirs.id).status == "queued"
+
+    def test_recovery_grace_spares_freshly_heartbeating_claims(
+        self, store, tiny_system
+    ):
+        """Rolling restart: the replacement server's startup recovery must
+        not yank jobs the old same-id instance is still draining (their
+        heartbeats are fresh); heartbeat-less claims are always repaired."""
+        jobs = _distinct_jobs(tiny_system, 2)
+        draining = store.submit(jobs[0])
+        unclaimed = store.submit(jobs[1])
+        assert store.claim_next(worker_id="a:proc-0").id == draining.id
+        assert store.claim_next().id == unclaimed.id  # anonymous, no heartbeat
+        assert store.requeue_running(owner_prefix="a:", heartbeat_grace_seconds=60.0) == 1
+        assert store.get_job(draining.id).status == "running"   # spared
+        assert store.get_job(unclaimed.id).status == "queued"   # repaired
+        # Once the heartbeat has aged past the grace, the claim is repaired.
+        assert store.requeue_running(owner_prefix="a:", heartbeat_grace_seconds=0.0) == 1
+        assert store.get_job(draining.id).status == "queued"
+
+    def test_cancel_interrupted_scoped_to_owner_prefix(self, store, tiny_system):
+        jobs = _distinct_jobs(tiny_system, 2)
+        mine = store.submit(jobs[0])
+        theirs = store.submit(jobs[1])
+        store.claim_next(worker_id="a:proc-0")
+        store.claim_next(worker_id="b:proc-0")
+        store.request_cancel(mine.id)
+        store.request_cancel(theirs.id)
+        assert store.cancel_interrupted(owner_prefix="a:") == 1
+        assert store.get_job(mine.id).status == "cancelled"
+        # Server b's job keeps running; its own worker honours the cancel.
+        assert store.get_job(theirs.id).status == "running"
+
+
+class TestConcurrencyLayer:
+    """The WAL / per-thread-connection layer of the shared-store design."""
+
+    def test_file_stores_run_in_wal_mode(self, store):
+        assert store.journal_mode == "wal"
+
+    def test_memory_stores_stay_serialized(self):
+        memory = JobStore()
+        try:
+            assert memory.journal_mode == "memory"
+            assert memory._serial is not None
+        finally:
+            memory.close()
+
+    def test_dead_threads_connections_are_pruned(self, store):
+        """One connection per request thread must not leak: the HTTP server
+        spawns a thread per request, and each dead thread's connection is
+        closed when a later thread connects."""
+        def touch():
+            store.counts()
+
+        for _ in range(8):
+            thread = threading.Thread(target=touch)
+            thread.start()
+            thread.join()
+        # The pool holds at most the opener's connection plus the most
+        # recently dead thread's (pruned on the next thread's connect).
+        with store._pool_lock:
+            assert len(store._pool) <= 2
+
+    def test_threads_get_their_own_connections(self, store):
+        connections = {}
+
+        def grab(name):
+            connections[name] = store._connection()
+
+        threads = [
+            threading.Thread(target=grab, args=(index,)) for index in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        connections["main"] = store._connection()
+        assert len(set(map(id, connections.values()))) == 4
+
+    def test_two_store_handles_on_one_file_see_each_other(self, tmp_path, sample_jobs):
+        """Two JobStore instances (two connection pools, as two server
+        processes would hold) interleave claims and marks coherently."""
+        path = tmp_path / "shared.db"
+        a, b = JobStore(path), JobStore(path)
+        try:
+            stored = a.submit(sample_jobs[0])
+            assert b.get_job(stored.id).status == "queued"
+            claimed = b.claim_next(worker_id="b:proc-0")
+            assert claimed.id == stored.id
+            assert a.get_job(stored.id).claimed_by == "b:proc-0"
+            assert a.claim_next(worker_id="a:proc-0") is None  # no double claim
+            assert b.mark_done(stored.id, _result().as_dict(), worker_id="b:proc-0")
+            assert a.get_job(stored.id).status == "done"
+            assert a.get_result(stored.fingerprint, count=False) is not None
+        finally:
+            a.close()
+            b.close()
+
+    def test_use_after_close_raises_programming_error(self, tmp_path, sample_jobs):
+        import sqlite3
+
+        store = JobStore(tmp_path / "jobs.db")
+        store.submit(sample_jobs[0])
+        store.close()
+        with pytest.raises(sqlite3.ProgrammingError):
+            store.counts()
 
 
 class TestMonotonicClock:
@@ -297,6 +549,31 @@ class TestMonotonicClock:
 
         assert abs(store._now() - time_module.time()) < 5.0
 
+    def test_heartbeats_never_lag_the_wall_clock_after_a_suspend(
+        self, store, sample_jobs
+    ):
+        """CLOCK_MONOTONIC does not advance through a host suspend / VM
+        pause; after resume the store clock lags the wall clock.  Heartbeat
+        stamps are compared against *peer processes'* clocks, so they take
+        the later of the two -- or every job this server claims would look
+        permanently stale to the sweeper-lease holder."""
+        import time as time_module
+
+        stored = store.submit(sample_jobs[0])
+        store.claim_next(worker_id="proc-0")
+        # Simulate a 100s suspend: the monotonic-anchored clock now lags.
+        store._wall_anchor -= 100.0
+        assert store._now() < time_module.time() - 50.0
+        assert store.heartbeat(stored.id, "proc-0") is True
+        assert store.get_job(stored.id).heartbeat_at >= time_module.time() - 5.0
+        # A peer store handle with an accurate clock sees the claim as live.
+        peer = JobStore(store.path)
+        try:
+            assert peer.requeue_stale(50.0) == 0
+            assert peer.get_job(stored.id).status == "running"
+        finally:
+            peer.close()
+
 
 class TestFingerprintDedupCorners:
     """A queued twin of a running job is deferred, but must be re-claimed
@@ -331,7 +608,7 @@ class TestFingerprintDedupCorners:
         crashed = store.submit(sample_jobs[0])
         twin = store.submit(sample_jobs[0])
         assert store.claim_next(worker_id="proc-0").id == crashed.id
-        store.release(crashed.id)  # the worker died; recovery path
+        store.release(crashed.id, "proc-0")  # the worker died; recovery path
         # FIFO: the released original comes back first, the twin after it.
         assert store.claim_next(worker_id="proc-1").id == crashed.id
         assert store.claim_next(worker_id="proc-2") is None

@@ -491,8 +491,8 @@ class TestStoreMigration:
         try:
             rescued = store.get_job("stranded")
             assert rescued is not None and rescued.status == "queued"
-            with store._lock:
-                leftover = store._connection.execute(
+            with store._read() as connection:
+                leftover = connection.execute(
                     "SELECT 1 FROM sqlite_master WHERE name = 'jobs_migrating'"
                 ).fetchone()
             assert leftover is None
