@@ -1,0 +1,230 @@
+"""Event-subsystem benchmark: bus throughput, wakeup latency, push-vs-poll.
+
+Not a pytest file (no ``test_`` prefix): run it directly to (re)generate
+``BENCH_events.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_events.py
+
+Measures, on the current machine:
+
+* ``bus``           -- events/sec through ``EventManager.fire`` with the
+  metrics sink attached (the non-durable fast path every event takes);
+* ``durable_log``   -- events/sec when the store sink also appends each
+  event to the SQLite per-job log (one write transaction per event);
+* ``long_poll_wakeup`` -- latency from ``store.append_event`` commit to a
+  long-polling client receiving the event over HTTP, p50/p95 over N samples
+  (the in-process broker wakeup path);
+* ``requests_100_events`` -- HTTP requests needed to fully observe a live
+  job emitting 100 progress events, push (long-poll) vs the polling
+  baseline client.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.client import VerifasClient  # noqa: E402
+from repro.events import EventManager, MetricsSink, SearchEvent, StoreSink  # noqa: E402
+from repro.has.builder import ArtifactSystemBuilder  # noqa: E402
+from repro.has.conditions import NULL, And, Const, Eq, Neq, Var  # noqa: E402
+from repro.has.schema import DatabaseSchema  # noqa: E402
+from repro.ltl import LTLFOProperty, parse_ltl  # noqa: E402
+from repro.server import VerificationServer  # noqa: E402
+from repro.server.metrics import ServerMetrics  # noqa: E402
+from repro.service import VerificationJob  # noqa: E402
+from repro.spec import dump_property, dump_system  # noqa: E402
+
+
+def _tiny_system():
+    """The pick/ship/reset single-task system the e2e tests also use."""
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder("tiny", schema)
+    task = builder.task("Main")
+    task.id_variable("item", "ITEMS")
+    task.variable("status")
+    task.internal_service(
+        "pick",
+        pre=Eq(Var("status"), NULL),
+        post=And(Neq(Var("item"), NULL), Eq(Var("status"), Const("picked"))),
+    )
+    task.internal_service(
+        "ship",
+        pre=Eq(Var("status"), Const("picked")),
+        post=Eq(Var("status"), Const("shipped")),
+    )
+    task.internal_service(
+        "reset",
+        pre=Eq(Var("status"), Const("shipped")),
+        post=And(Eq(Var("status"), NULL), Eq(Var("item"), NULL)),
+    )
+    return builder.build()
+
+
+def _property():
+    return LTLFOProperty(
+        "Main", parse_ltl("F p"),
+        {"p": Eq(Var("status"), Const("picked"))}, name="eventually-picked",
+    )
+
+
+class CountingClient(VerifasClient):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.request_count = 0
+
+    def _request(self, method, path, payload=None, timeout=None):
+        self.request_count += 1
+        return super()._request(method, path, payload, timeout=timeout)
+
+
+def bench_bus_throughput(n_events: int = 50_000) -> dict:
+    manager = EventManager()
+    manager.add_sink(MetricsSink(ServerMetrics()))
+    event = SearchEvent(job_id="bench", data={"states_explored": 1}, kind="progress")
+    started = time.perf_counter()
+    for _ in range(n_events):
+        manager.fire(event)
+    elapsed = time.perf_counter() - started
+    return {"events": n_events, "seconds": round(elapsed, 4),
+            "events_per_sec": round(n_events / elapsed)}
+
+
+def bench_durable_log_throughput(n_events: int = 2_000) -> dict:
+    from repro.server.store import JobStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = JobStore(Path(tmp) / "bench.db")
+        stored = store.submit(VerificationJob.from_objects(_tiny_system(), _property()))
+        manager = EventManager()
+        manager.add_sink(StoreSink(store))
+        manager.add_sink(MetricsSink(ServerMetrics()))
+        started = time.perf_counter()
+        for index in range(n_events):
+            manager.fire(SearchEvent(
+                job_id=stored.id, data={"states_explored": index}, kind="progress"
+            ))
+        elapsed = time.perf_counter() - started
+        count = store.event_count(stored.id)
+        store.close()
+    return {"events": n_events, "persisted": count, "seconds": round(elapsed, 4),
+            "events_per_sec": round(n_events / elapsed)}
+
+
+def bench_long_poll_wakeup(samples: int = 40) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        server = VerificationServer(
+            store_path=Path(tmp) / "bench.db", port=0, workers=0, quiet=True,
+        )
+        server.start()
+        try:
+            client = VerifasClient(server.url)
+            handle = client.submit(
+                dump_system(_tiny_system()), [dump_property(_property())],
+                options={"timeout_seconds": 60},
+            )[0]
+            latencies = []
+            cursor = 0
+            stamp = {}
+
+            def append_one(index):
+                time.sleep(0.02)  # let the long-poll park first
+                stamp["t"] = time.perf_counter()
+                server.store.append_event(
+                    handle.id, "progress", {"data": {"i": index}}
+                )
+
+            for index in range(samples):
+                appender = threading.Thread(target=append_one, args=(index,))
+                appender.start()
+                page = client.events(handle.id, cursor=cursor, wait_ms=10_000)
+                received = time.perf_counter()
+                appender.join()
+                assert page["events"], "long-poll returned empty during bench"
+                cursor = page["cursor"]
+                latencies.append((received - stamp["t"]) * 1000.0)
+        finally:
+            server.stop()
+    latencies.sort()
+    return {
+        "samples": samples,
+        "p50_ms": round(statistics.median(latencies), 3),
+        "p95_ms": round(latencies[int(0.95 * (samples - 1))], 3),
+        "max_ms": round(latencies[-1], 3),
+    }
+
+
+def bench_requests_for_100_events() -> dict:
+    """A live job emitting 100 events at a 20ms cadence (a realistic search
+    heartbeat), observed once over long-poll and once by the polling
+    baseline.  Push needs at most one request per wakeup; polling re-asks on
+    its own clock and mostly gets empty pages."""
+    n_events = 100
+
+    def observe(push: bool) -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            server = VerificationServer(
+                store_path=Path(tmp) / "bench.db", port=0, workers=0, quiet=True,
+                push_fallback_interval=0.05,
+            )
+            server.start()
+            try:
+                client = CountingClient(
+                    server.url, push_events=push, wait_ms=5_000,
+                    poll_initial=0.01, poll_max=0.1,
+                )
+                handle = client.submit(
+                    dump_system(_tiny_system()), [dump_property(_property())],
+                    options={"timeout_seconds": 60},
+                )[0]
+                client.request_count = 0  # count only the observation phase
+
+                def emit():
+                    for index in range(n_events):
+                        time.sleep(0.02)
+                        server.store.append_event(
+                            handle.id, "progress", {"data": {"i": index}}
+                        )
+                    server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+                emitter = threading.Thread(target=emit)
+                started = time.perf_counter()
+                emitter.start()
+                events = list(client.iter_events(handle.id, deadline_seconds=60))
+                elapsed = time.perf_counter() - started
+                emitter.join()
+                assert len(events) == n_events + 0, f"saw {len(events)} events"
+                return {"requests": client.request_count,
+                        "seconds": round(elapsed, 3)}
+            finally:
+                server.stop()
+
+    push = observe(push=True)
+    poll = observe(push=False)
+    return {"events": n_events, "push": push, "poll": poll}
+
+
+def main() -> None:
+    report = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "bus": bench_bus_throughput(),
+        "durable_log": bench_durable_log_throughput(),
+        "long_poll_wakeup": bench_long_poll_wakeup(),
+        "requests_100_events": bench_requests_for_100_events(),
+    }
+    output = REPO_ROOT / "BENCH_events.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

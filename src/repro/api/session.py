@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Callable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no hard dependency)
+    from repro.events import EventManager
 
 from repro.core.control import (
     CancellationToken,
@@ -63,11 +66,21 @@ class VerificationSession:
         event_sink: Optional[EventSink] = None,
         progress_interval: int = 250,
         cancel_poll: Optional[Callable[[], bool]] = None,
+        event_manager: Optional["EventManager"] = None,
+        job_id: Optional[str] = None,
     ):
         """``cancel_poll`` (ignored when an explicit *token* is passed) is an
         external pollable cancellation backend -- e.g. a
         ``multiprocessing.Event().is_set`` shared with another process --
-        consulted cooperatively on every search-loop iteration."""
+        consulted cooperatively on every search-loop iteration.
+
+        ``event_manager`` (with ``job_id`` naming this run on the bus)
+        additionally forwards every :class:`ProgressEvent` onto a
+        :class:`repro.events.EventManager` as typed ``SearchEvent``s --
+        the same single path the server's workers use -- so an embedding
+        application's sinks (logs, metrics, a durable store) observe a
+        session-run search exactly like a server-run one.
+        """
         self._verifier = Verifier(system, options)
         self._property = ltl_property
         self.token = (
@@ -75,6 +88,11 @@ class VerificationSession:
         )
         self.token.tighten_deadline(deadline_seconds)
         self._forward = event_sink
+        self._bus_forward: Optional[EventSink] = None
+        if event_manager is not None:
+            self._bus_forward = event_manager.progress_sink(
+                job_id if job_id is not None else "session"
+            )
         self.control = SearchControl(
             token=self.token,
             event_sink=self._record_event,
@@ -180,6 +198,8 @@ class VerificationSession:
             self._condition.notify_all()
         if self._forward is not None:
             self._forward(event)
+        if self._bus_forward is not None:
+            self._bus_forward(event)
 
     def events(self) -> List[ProgressEvent]:
         """A snapshot of every event emitted so far."""

@@ -230,6 +230,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             sweep_interval=args.sweep_interval,
             heartbeat_interval=args.heartbeat_interval,
             stale_heartbeat_seconds=args.stale_after,
+            event_log_stream=sys.stderr if args.log_events else None,
         )
     except sqlite3.Error as error:
         print(f"error: cannot open job store {args.store!r}: {error}", file=sys.stderr)
@@ -363,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="heartbeat age past which a running job's owner is presumed dead and the"
              " job is requeued -- must comfortably exceed --heartbeat-interval and"
              " --sweep-interval (default: 15.0)",
+    )
+    serve.add_argument(
+        "--log-events", action="store_true", dest="log_events",
+        help="write one line per server event (job lifecycle, worker crashes,"
+             " sweeps) to stderr via the event bus's log sink",
     )
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")

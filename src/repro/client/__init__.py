@@ -1,8 +1,11 @@
 """The Python client library for the ``/v1`` verification API.
 
-Pure stdlib (``urllib``): submit jobs, poll with exponential backoff, stream
-progress events, cancel.  Used by ``python -m repro batch --remote`` and the
-test suite, so neither has to hand-roll HTTP calls::
+Pure stdlib: submit jobs, stream progress events (long-poll push by default
+in the async client, opt-in in the sync one), poll with exponential backoff
+as the fallback, cancel.  Used by ``python -m repro batch --remote`` and the
+test suite, so neither has to hand-roll HTTP calls.
+
+Synchronous (``urllib``)::
 
     from repro.client import VerifasClient
 
@@ -13,18 +16,31 @@ test suite, so neither has to hand-roll HTTP calls::
         print(event["kind"], event.get("data"))
     view = client.wait(jobs[0].id)
     client.cancel(jobs[0].id)
+
+Asyncio (bounded-concurrency fan-out, completion-order consumption)::
+
+    from repro.client import AsyncVerifasClient
+
+    client = AsyncVerifasClient("http://127.0.0.1:8080", concurrency=8)
+    handles = await client.submit_many(payloads)
+    async for job_id, view in client.as_completed([h.id for h in handles]):
+        print(job_id, view["status"])
 """
 
+from repro.client.aio import AsyncVerifasClient
 from repro.client.http import (
     ClientError,
     JobHandle,
     RemoteJobError,
     VerifasClient,
+    build_submit_payload,
 )
 
 __all__ = [
+    "AsyncVerifasClient",
     "ClientError",
     "JobHandle",
     "RemoteJobError",
     "VerifasClient",
+    "build_submit_payload",
 ]

@@ -1,0 +1,418 @@
+"""``AsyncVerifasClient``: an asyncio client for the ``/v1`` API.
+
+Stdlib-only, like its synchronous sibling: raw HTTP/1.1 over
+``asyncio.open_connection`` (one short-lived ``Connection: close`` exchange
+per request -- the server is thread-per-request anyway, so connection reuse
+buys nothing), JSON in and out, the same :class:`ClientError` /
+:class:`RemoteJobError` surface.  What asyncio adds is *concurrency shape*:
+
+* every request passes through one bounded :class:`asyncio.Semaphore`, so a
+  thousand-job :meth:`submit_many` or :meth:`as_completed` sweep holds at
+  most ``concurrency`` sockets to the server at once;
+* :meth:`as_completed` yields ``(job_id, view)`` pairs the moment each job
+  turns terminal (batch status polling under the hood), instead of blocking
+  on the slowest;
+* :meth:`iter_events` is an async generator long-polling the event log --
+  awaiting it costs no thread while the server holds the request open.
+
+::
+
+    client = AsyncVerifasClient(server.url)
+    handles = await client.submit_many(payloads)
+    async for job_id, view in client.as_completed([h.id for h in handles]):
+        print(job_id, view["status"])
+
+Python 3.9 compatible (no ``asyncio.timeout``; ``asyncio.wait_for`` bounds
+each exchange).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, Iterator, List, Optional, Sequence, Tuple
+from urllib.parse import quote, urlencode, urlsplit
+
+from repro.client.http import (
+    TERMINAL_STATES,
+    ClientError,
+    JobHandle,
+    RemoteJobError,
+    build_submit_payload,
+)
+
+
+class AsyncVerifasClient:
+    """Asyncio client for one verification server's ``/v1`` API."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        concurrency: int = 8,
+        poll_initial: float = 0.05,
+        poll_max: float = 2.0,
+        poll_backoff: float = 1.6,
+        push_events: bool = True,
+        wait_ms: int = 10_000,
+    ):
+        self.base_url = base_url.rstrip("/")
+        split = urlsplit(
+            self.base_url if "//" in self.base_url else f"http://{self.base_url}"
+        )
+        if split.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported URL scheme {split.scheme!r}")
+        if split.hostname is None:
+            raise ValueError(f"no host in base URL {base_url!r}")
+        self._host = split.hostname
+        self._ssl = split.scheme == "https"
+        self._port = split.port if split.port is not None else (443 if self._ssl else 80)
+        self._prefix = split.path.rstrip("/")
+        self.timeout = timeout
+        self.concurrency = max(1, int(concurrency))
+        self.poll_initial = poll_initial
+        self.poll_max = poll_max
+        self.poll_backoff = poll_backoff
+        #: Long-poll by default: the async client exists for event-driven
+        #: consumption, and the server side has always supported it.
+        self.push_events = push_events
+        self.wait_ms = max(1, int(wait_ms))
+        # Created lazily inside a running loop: instantiating the client at
+        # module import time (no loop yet) must work on Python 3.9, where a
+        # Semaphore binds the loop that exists at construction.  Re-created
+        # whenever the running loop changes, so one client object survives
+        # several ``asyncio.run`` calls.
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._semaphore_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------ plumbing
+
+    def _gate(self) -> asyncio.Semaphore:
+        loop = asyncio.get_running_loop()
+        if self._semaphore is None or self._semaphore_loop is not loop:
+            self._semaphore = asyncio.Semaphore(self.concurrency)
+            self._semaphore_loop = loop
+        return self._semaphore
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        head = (
+            f"{method} {self._prefix}{path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            "Accept: application/json\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        budget = self.timeout if timeout is None else timeout
+        async with self._gate():
+            try:
+                return await asyncio.wait_for(
+                    self._exchange(head + body, method, path), timeout=budget
+                )
+            except asyncio.TimeoutError:
+                raise ClientError(
+                    f"timed out after {budget}s on {method} {path}"
+                ) from None
+            except OSError as error:
+                raise ClientError(f"cannot reach {self.base_url}: {error}") from None
+
+    async def _exchange(
+        self, raw: bytes, method: str, path: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        reader, writer = await asyncio.open_connection(
+            self._host, self._port, ssl=True if self._ssl else None
+        )
+        try:
+            writer.write(raw)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(" ", 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ClientError(
+                    f"malformed status line {status_line!r} from {method} {path}"
+                )
+            status = int(parts[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = headers.get("content-length")
+            if length is not None:
+                data = await reader.readexactly(int(length))
+            else:
+                data = await reader.read()  # EOF-delimited (Connection: close)
+            try:
+                decoded = json.loads(data.decode("utf-8")) if data else {}
+            except (ValueError, UnicodeDecodeError):
+                decoded = {}
+            body = decoded if isinstance(decoded, dict) else {}
+            if status >= 400:
+                raise ClientError(
+                    body.get("error", f"HTTP {status} on {method} {path}"),
+                    status=status,
+                    body=body,
+                )
+            return status, body
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - peer reset during close
+                pass
+
+    def _backoff(self) -> Iterator[float]:
+        delay = self.poll_initial
+        while True:
+            yield delay
+            delay = min(self.poll_max, delay * self.poll_backoff)
+
+    @staticmethod
+    def _job_path(job_id: str) -> str:
+        return f"/v1/jobs/{quote(str(job_id), safe='')}"
+
+    # ------------------------------------------------------------------- basics
+
+    async def healthz(self) -> Dict[str, Any]:
+        return (await self._request("GET", "/v1/healthz"))[1]
+
+    async def metrics(self) -> Dict[str, Any]:
+        return (await self._request("GET", "/v1/metrics"))[1]
+
+    # ------------------------------------------------------------------- submit
+
+    async def submit(
+        self,
+        system: Dict[str, Any],
+        properties: Sequence[Dict[str, Any]],
+        options: Optional[Dict[str, Any]] = None,
+        label: Optional[str] = None,
+        ttl_seconds: Optional[float] = None,
+        deadline_ms: Optional[int] = None,
+        schema_version: int = 1,
+    ) -> List[JobHandle]:
+        """Submit one payload (canonical spec dicts); one handle per property."""
+        return await self.submit_payload(
+            build_submit_payload(
+                system,
+                properties,
+                options=options,
+                label=label,
+                ttl_seconds=ttl_seconds,
+                deadline_ms=deadline_ms,
+                schema_version=schema_version,
+            )
+        )
+
+    async def submit_payload(self, payload: Dict[str, Any]) -> List[JobHandle]:
+        """Submit an already-built ``POST /v1/jobs`` payload."""
+        status, body = await self._request("POST", "/v1/jobs", payload)
+        if status != 202:
+            raise ClientError(f"unexpected status {status} submitting jobs", status, body)
+        return [JobHandle.from_dict(job) for job in body.get("jobs", [])]
+
+    async def submit_many(
+        self, payloads: Sequence[Dict[str, Any]]
+    ) -> List[JobHandle]:
+        """Submit every payload concurrently (bounded by the semaphore);
+        returns the accepted handles flattened, in payload order."""
+        results = await asyncio.gather(
+            *(self.submit_payload(payload) for payload in payloads)
+        )
+        return [handle for handles in results for handle in handles]
+
+    # -------------------------------------------------------------------- query
+
+    async def job(self, job_id: str) -> Dict[str, Any]:
+        """The current ``GET /v1/jobs/<id>`` view."""
+        return (await self._request("GET", self._job_path(job_id)))[1]
+
+    async def jobs(
+        self, status: Optional[str] = None, limit: int = 100
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"limit": limit}
+        if status:
+            params["status"] = status
+        return (await self._request("GET", f"/v1/jobs?{urlencode(params)}"))[1]
+
+    async def job_views(self, job_ids: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Batch status ``{id: view}`` via ``GET /v1/jobs?id=a&id=b``
+        (chunks of 100 ids per request; unknown ids absent)."""
+        views: Dict[str, Dict[str, Any]] = {}
+        ids = list(dict.fromkeys(str(job_id) for job_id in job_ids))
+        chunks = [ids[start : start + 100] for start in range(0, len(ids), 100)]
+        bodies = await asyncio.gather(
+            *(
+                self._request("GET", f"/v1/jobs?{urlencode([('id', j) for j in chunk])}")
+                for chunk in chunks
+            )
+        )
+        for _, body in bodies:
+            for view in body.get("jobs", []):
+                views[view["id"]] = view
+        return views
+
+    async def events(
+        self,
+        job_id: str,
+        cursor: int = 0,
+        limit: int = 500,
+        wait_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One events page; with *wait_ms* the request long-polls."""
+        params: Dict[str, Any] = {"cursor": cursor, "limit": limit}
+        timeout = None
+        if wait_ms is not None:
+            params["wait_ms"] = max(1, int(wait_ms))
+            timeout = self.timeout + params["wait_ms"] / 1000.0
+        query = urlencode(params)
+        return (
+            await self._request(
+                "GET", f"{self._job_path(job_id)}/events?{query}", timeout=timeout
+            )
+        )[1]
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/jobs/<id>``: cooperative cancellation."""
+        return (await self._request("DELETE", self._job_path(job_id)))[1]
+
+    # ------------------------------------------------------------------ waiting
+
+    async def wait(
+        self,
+        job_id: str,
+        deadline_seconds: float = 300.0,
+        raise_on_error: bool = True,
+    ) -> Dict[str, Any]:
+        """Poll (exponential backoff) until the job is terminal; returns its view."""
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + deadline_seconds
+        for delay in self._backoff():
+            view = await self.job(job_id)
+            if view.get("status") in TERMINAL_STATES:
+                if raise_on_error and view.get("status") == "error":
+                    raise RemoteJobError(
+                        view.get("error", f"job {job_id} failed"), body=view
+                    )
+                return view
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still {view.get('status')!r} after {deadline_seconds}s"
+                )
+            await asyncio.sleep(min(delay, remaining))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def as_completed(
+        self, job_ids: Sequence[str], deadline_seconds: float = 300.0
+    ) -> AsyncIterator[Tuple[str, Dict[str, Any]]]:
+        """Yield ``(job_id, view)`` as each job turns terminal.
+
+        One batch-status request per backoff round covers every pending job;
+        jobs are yielded the moment their terminal view is observed --
+        submission order does not gate consumption.  Raises
+        :class:`ClientError` for an unknown id, :class:`TimeoutError` at the
+        deadline with jobs still pending.
+        """
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + deadline_seconds
+        pending = list(dict.fromkeys(str(job_id) for job_id in job_ids))
+        if not pending:
+            return
+        backoff = self._backoff()
+        while True:
+            batch = await self.job_views(pending)
+            missing = [job_id for job_id in pending if job_id not in batch]
+            if missing:
+                raise ClientError(f"no job with id {missing[0]!r}", status=404, body={})
+            still_pending = []
+            finished = []
+            for job_id in pending:
+                view = batch[job_id]
+                if view.get("status") in TERMINAL_STATES:
+                    finished.append((job_id, view))
+                else:
+                    still_pending.append(job_id)
+            pending = still_pending
+            for job_id, view in finished:
+                yield job_id, view
+            if not pending:
+                return
+            if finished:
+                backoff = self._backoff()  # progress: restart the backoff
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"{len(pending)} job(s) still unfinished after {deadline_seconds}s"
+                )
+            await asyncio.sleep(min(next(backoff), remaining))
+
+    async def wait_all(
+        self, job_ids: Sequence[str], deadline_seconds: float = 300.0
+    ) -> Dict[str, Dict[str, Any]]:
+        """Wait for every job id; returns ``{id: terminal view}``."""
+        views: Dict[str, Dict[str, Any]] = {}
+        async for job_id, view in self.as_completed(
+            job_ids, deadline_seconds=deadline_seconds
+        ):
+            views[job_id] = view
+        return views
+
+    async def iter_events(
+        self,
+        job_id: str,
+        deadline_seconds: float = 300.0,
+        poll_limit: int = 500,
+        push: Optional[bool] = None,
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Yield the job's progress events (oldest first) until it is terminal.
+
+        Push mode (the default) long-polls, so awaiting this generator costs
+        no requests while nothing happens; poll mode backs off client-side.
+        Same termination rule as the sync client: a terminal page shorter
+        than *poll_limit* ends iteration with no extra round-trip.
+        """
+        push = self.push_events if push is None else push
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + deadline_seconds
+        cursor = 0
+        backoff = self._backoff()
+        while True:
+            wait_ms: Optional[int] = None
+            if push:
+                remaining_ms = int((deadline - loop.time()) * 1000)
+                if remaining_ms <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still emitting after {deadline_seconds}s"
+                    )
+                wait_ms = min(self.wait_ms, max(1, remaining_ms))
+            page = await self.events(
+                job_id, cursor=cursor, limit=poll_limit, wait_ms=wait_ms
+            )
+            events = page.get("events", [])
+            for event in events:
+                cursor = max(cursor, int(event.get("seq", cursor)))
+                yield event
+            if page.get("terminal") and len(events) < poll_limit:
+                return
+            if events:
+                backoff = self._backoff()
+                continue
+            if push:
+                continue
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still emitting after {deadline_seconds}s"
+                )
+            await asyncio.sleep(min(next(backoff), remaining))

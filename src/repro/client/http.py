@@ -4,11 +4,22 @@ The client is deliberately boring: synchronous ``urllib`` calls, JSON in and
 out, exponential-backoff polling with a hard deadline.  Transport and HTTP
 errors surface as :class:`ClientError`; a job that reaches the ``error``
 lifecycle state surfaces as :class:`RemoteJobError` from :meth:`wait`.
+
+Event delivery has two modes.  ``push_events=True`` makes
+:meth:`iter_events` *long-poll*: each page request carries ``?wait_ms=`` and
+the server holds it open until events arrive or the job turns terminal, so a
+job emitting N events is observed in about ``ceil(N / limit) + 1`` requests
+with no client-side sleeping.  The default is fixed-cadence cursor polling
+with exponential backoff -- the fallback path that works against any server
+and degrades gracefully, at the cost of one request per poll tick.
+(``REPRO_TEST_PUSH_EVENTS=1`` flips the default to push: the CI hook that
+re-runs the e2e suites over long-poll delivery.)
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 import urllib.error
 import urllib.request
@@ -57,6 +68,32 @@ class JobHandle:
         )
 
 
+def build_submit_payload(
+    system: Dict[str, Any],
+    properties: Sequence[Dict[str, Any]],
+    options: Optional[Dict[str, Any]] = None,
+    label: Optional[str] = None,
+    ttl_seconds: Optional[float] = None,
+    deadline_ms: Optional[int] = None,
+    schema_version: int = 1,
+) -> Dict[str, Any]:
+    """The ``POST /v1/jobs`` payload for these inputs (shared by both clients)."""
+    payload: Dict[str, Any] = {
+        "schema_version": schema_version,
+        "system": system,
+        "properties": list(properties),
+    }
+    if options is not None:
+        payload["options"] = options
+    if label is not None:
+        payload["label"] = label
+    if ttl_seconds is not None:
+        payload["ttl_seconds"] = ttl_seconds
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
+
+
 class VerifasClient:
     """Synchronous client for one verification server's ``/v1`` API."""
 
@@ -67,6 +104,8 @@ class VerifasClient:
         poll_initial: float = 0.05,
         poll_max: float = 2.0,
         poll_backoff: float = 1.6,
+        push_events: Optional[bool] = None,
+        wait_ms: int = 10_000,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -74,11 +113,24 @@ class VerifasClient:
         self.poll_initial = poll_initial
         self.poll_max = poll_max
         self.poll_backoff = poll_backoff
+        if push_events is None:
+            # The documented test/ops hook: flips every default-constructed
+            # client (test suites, the CLI) to long-poll delivery so the
+            # same e2e suites exercise the push path end to end.
+            push_events = os.environ.get("REPRO_TEST_PUSH_EVENTS", "") == "1"
+        #: Whether :meth:`iter_events` long-polls by default (see module doc).
+        self.push_events = push_events
+        #: Long-poll window per request (the server clamps to its own cap).
+        self.wait_ms = max(1, int(wait_ms))
 
     # ------------------------------------------------------------------ plumbing
 
     def _request(
-        self, method: str, path: str, payload: Optional[Any] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(
@@ -88,7 +140,9 @@ class VerifasClient:
             headers={"Content-Type": "application/json"},
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
                 return response.status, json.load(response)
         except urllib.error.HTTPError as error:
             try:
@@ -124,20 +178,17 @@ class VerifasClient:
         schema_version: int = 1,
     ) -> List[JobHandle]:
         """Submit one payload (canonical spec dicts); one handle per property."""
-        payload: Dict[str, Any] = {
-            "schema_version": schema_version,
-            "system": system,
-            "properties": list(properties),
-        }
-        if options is not None:
-            payload["options"] = options
-        if label is not None:
-            payload["label"] = label
-        if ttl_seconds is not None:
-            payload["ttl_seconds"] = ttl_seconds
-        if deadline_ms is not None:
-            payload["deadline_ms"] = deadline_ms
-        return self.submit_payload(payload)
+        return self.submit_payload(
+            build_submit_payload(
+                system,
+                properties,
+                options=options,
+                label=label,
+                ttl_seconds=ttl_seconds,
+                deadline_ms=deadline_ms,
+                schema_version=schema_version,
+            )
+        )
 
     def submit_payload(self, payload: Dict[str, Any]) -> List[JobHandle]:
         """Submit an already-built ``POST /v1/jobs`` payload."""
@@ -165,11 +216,46 @@ class VerifasClient:
             params["status"] = status
         return self._request("GET", f"/v1/jobs?{urlencode(params)}")[1]
 
+    def job_views(self, job_ids: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Batch status: ``{id: view}`` via ``GET /v1/jobs?id=a&id=b``.
+
+        One request per 100 ids (bounding the query string); results for
+        done jobs are included in each view, so no follow-up GET per job is
+        needed.  Unknown ids are simply absent from the mapping.
+        """
+        views: Dict[str, Dict[str, Any]] = {}
+        ids = list(dict.fromkeys(str(job_id) for job_id in job_ids))
+        for start in range(0, len(ids), 100):
+            chunk = ids[start : start + 100]
+            query = urlencode([("id", job_id) for job_id in chunk])
+            body = self._request("GET", f"/v1/jobs?{query}")[1]
+            for view in body.get("jobs", []):
+                views[view["id"]] = view
+        return views
+
     def events(
-        self, job_id: str, cursor: int = 0, limit: int = 500
+        self,
+        job_id: str,
+        cursor: int = 0,
+        limit: int = 500,
+        wait_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """One ``GET /v1/jobs/<id>/events`` page starting after *cursor*."""
-        query = urlencode({"cursor": cursor, "limit": limit})
+        """One ``GET /v1/jobs/<id>/events`` page starting after *cursor*.
+
+        With *wait_ms* the request long-polls: the server holds it open up
+        to that many milliseconds waiting for news (the HTTP timeout is
+        widened to cover the window).
+        """
+        params: Dict[str, Any] = {"cursor": cursor, "limit": limit}
+        if wait_ms is not None:
+            params["wait_ms"] = max(1, int(wait_ms))
+            query = urlencode(params)
+            return self._request(
+                "GET",
+                f"{self._job_path(job_id)}/events?{query}",
+                timeout=self.timeout + params["wait_ms"] / 1000.0,
+            )[1]
+        query = urlencode(params)
         return self._request("GET", f"{self._job_path(job_id)}/events?{query}")[1]
 
     # ------------------------------------------------------------------- cancel
@@ -220,41 +306,95 @@ class VerifasClient:
     def wait_all(
         self, job_ids: Sequence[str], deadline_seconds: float = 300.0
     ) -> Dict[str, Dict[str, Any]]:
-        """Wait for every job id; returns ``{id: terminal view}``."""
+        """Wait for every job id; returns ``{id: terminal view}``.
+
+        Polls the *batch* status view (``GET /v1/jobs?id=a&id=b``): each
+        backoff round is one round-trip covering every still-pending job, so
+        a slow first job can no longer burn the whole deadline before the
+        others are even looked at, and N jobs no longer cost N requests per
+        poll.  Jobs that ended in ``error`` are returned like any other
+        terminal view (no raise -- callers inspect ``status``).  Raises
+        :class:`ClientError` for an unknown id and :class:`TimeoutError`
+        when *deadline_seconds* elapses with jobs still unfinished.
+        """
         deadline = time.monotonic() + deadline_seconds
+        pending = list(dict.fromkeys(str(job_id) for job_id in job_ids))
         views: Dict[str, Dict[str, Any]] = {}
-        for job_id in job_ids:
-            remaining = max(0.0, deadline - time.monotonic())
-            views[job_id] = self.wait(
-                job_id, deadline_seconds=remaining, raise_on_error=False
-            )
-        return views
+        if not pending:
+            return views
+        for delay in self._backoff():
+            batch = self.job_views(pending)
+            missing = [job_id for job_id in pending if job_id not in batch]
+            if missing:
+                raise ClientError(
+                    f"no job with id {missing[0]!r}", status=404, body={}
+                )
+            still_pending = []
+            for job_id in pending:
+                view = batch[job_id]
+                if view.get("status") in TERMINAL_STATES:
+                    views[job_id] = view
+                else:
+                    still_pending.append(job_id)
+            pending = still_pending
+            if not pending:
+                return views
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"{len(pending)} job(s) still unfinished after {deadline_seconds}s"
+                )
+            time.sleep(min(delay, remaining))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def iter_events(
         self,
         job_id: str,
         deadline_seconds: float = 300.0,
         poll_limit: int = 500,
+        push: Optional[bool] = None,
     ) -> Iterator[Dict[str, Any]]:
         """Yield the job's progress events (oldest first) until it is terminal.
 
-        Polls ``GET /v1/jobs/<id>/events`` with a cursor and exponential
-        backoff (reset whenever new events arrive), then drains the final
-        page after the job lands so no event is missed.
+        In push mode (*push*, default :attr:`push_events`) each page request
+        long-polls -- the server holds it open until events arrive or the
+        job turns terminal -- so the client never sleeps and a job emitting
+        N events costs about ``ceil(N / poll_limit) + 1`` requests.  In poll
+        mode, pages are fetched on an exponential backoff (reset whenever
+        new events arrive).
+
+        Either way iteration ends as soon as a ``terminal`` page has been
+        drained *and* proved complete: a terminal page shorter than
+        *poll_limit* cannot have truncated the log, so no extra empty-page
+        round-trip is spent confirming it.
         """
+        push = self.push_events if push is None else push
         deadline = time.monotonic() + deadline_seconds
         cursor = 0
         backoff = self._backoff()
         while True:
-            page = self.events(job_id, cursor=cursor, limit=poll_limit)
-            for event in page.get("events", []):
+            wait_ms: Optional[int] = None
+            if push:
+                remaining_ms = int((deadline - time.monotonic()) * 1000)
+                if remaining_ms <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still emitting after {deadline_seconds}s"
+                    )
+                wait_ms = min(self.wait_ms, max(1, remaining_ms))
+            page = self.events(job_id, cursor=cursor, limit=poll_limit, wait_ms=wait_ms)
+            events = page.get("events", [])
+            for event in events:
                 cursor = max(cursor, int(event.get("seq", cursor)))
                 yield event
-            if page.get("terminal") and not page.get("events"):
+            if page.get("terminal") and len(events) < poll_limit:
+                # Terminal and the page was not full: the log is drained.
+                # (A full terminal page loops straight back for the rest.)
                 return
-            if page.get("events"):
+            if events:
                 backoff = self._backoff()  # progress: restart the backoff
                 continue
+            if push:
+                continue  # the server already blocked for wait_ms; no sleep
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError(f"job {job_id} still emitting after {deadline_seconds}s")

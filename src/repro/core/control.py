@@ -197,6 +197,14 @@ class ProgressEvent:
     seq: int = 0
     timestamp: float = 0.0
 
+    @property
+    def level(self) -> str:
+        """Log level when the event reaches a log sink: the periodic
+        ``progress`` heartbeats are ``debug`` chatter, everything else
+        (phase transitions, stats snapshots, the verdict) is ``info``.
+        :class:`repro.events.SearchEvent` mirrors this classification."""
+        return "debug" if self.kind == "progress" else "info"
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,

@@ -52,6 +52,23 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 from repro.core.control import CancellationToken, RateLimitedPoll, SearchControl
 from repro.core.options import VerifierOptions
 from repro.core.verifier import VerificationResult, Verifier
+from repro.events import (
+    CacheServed,
+    CancelRequested,
+    EventBroker,
+    EventManager,
+    JobCancelled,
+    JobCompleted,
+    JobFailed,
+    JobSubmitted,
+    LogSink,
+    MetricsSink,
+    StaleJobsRequeued,
+    StoreSink,
+    SweepCompleted,
+    SweeperLeaseMiss,
+    VerificationStarted,
+)
 from repro.server.handlers import ApiHandler
 from repro.server.metrics import ServerMetrics
 from repro.server.recovery import RecoveryReport, recover
@@ -105,6 +122,9 @@ class VerificationServer:
         stale_heartbeat_seconds: float = 15.0,
         server_id: Optional[str] = None,
         cancel_poll_interval: float = 0.25,
+        long_poll_max_ms: int = 30_000,
+        push_fallback_interval: float = 0.5,
+        event_log_stream: Optional[Any] = None,
     ):
         if worker_model not in ("thread", "process"):
             raise ValueError(
@@ -188,7 +208,36 @@ class VerificationServer:
         self.sweep_interval = sweep_interval
         #: Explored-state interval between persisted ``progress`` events.
         self.progress_interval = progress_interval
+        #: Cap on a single long-poll / SSE wait (``?wait_ms=`` is clamped to
+        #: this); also the default SSE streaming budget per request.
+        self.long_poll_max_ms = max(0, int(long_poll_max_ms))
+        #: How long a long-poll/SSE waiter sleeps between store re-reads when
+        #: no in-process wakeup arrives.  This bounds the delivery latency of
+        #: events written by *other* servers sharing the store file (their
+        #: commits never reach this process's broker): push degrades to
+        #: cursor polling at this cadence, never below it.
+        self.push_fallback_interval = max(0.05, push_fallback_interval)
         self.store = JobStore(store_path)
+        self.metrics = ServerMetrics(server_id=server_id)
+        #: The typed event bus: every job / worker / sweeper occurrence is
+        #: fired here once, and the sinks fan it out to the durable per-job
+        #: log, the /metrics counters, and (optionally) a log stream.
+        self.events = EventManager()
+        #: In-process wakeup hub for long-poll/SSE subscribers, fed by the
+        #: store's post-commit update hook (so *any* committed write that an
+        #: event poller could observe -- appends, terminal flips, cancels --
+        #: wakes the waiters, whichever code path wrote it).
+        self.broker = EventBroker()
+        self.store.on_job_update = self.broker.notify
+        self.events.add_sink(
+            StoreSink(
+                self.store,
+                lossy_busy_timeout_seconds=self.store.heartbeat_busy_timeout_seconds,
+            )
+        )
+        self.events.add_sink(MetricsSink(self.metrics))
+        if event_log_stream is not None:
+            self.events.add_sink(LogSink(event_log_stream))
         # In shared-store mode, startup recovery spares own-prefix claims
         # whose heartbeats are still fresh: a rolling restart overlaps with
         # the old same-id instance draining (and heartbeating) its last
@@ -199,9 +248,9 @@ class VerificationServer:
             heartbeat_grace_seconds=(
                 stale_heartbeat_seconds if server_id is not None else None
             ),
+            events=self.events,
         )
         self.cache = StoreBackedCache(self.store, ResultCache(max_entries=cache_entries))
-        self.metrics = ServerMetrics(server_id=server_id)
         self.service = VerificationService(
             cache=self.cache, default_options=default_options
         )
@@ -403,7 +452,7 @@ class VerificationServer:
         """
         if result.stats.cancelled:
             if self.store.mark_cancelled(stored.id, result.as_dict(), worker_id=owner):
-                self.metrics.increment("jobs_cancelled")
+                self.events.fire(JobCancelled(job_id=stored.id))
             return
         if self.store.mark_done(
             stored.id,
@@ -412,8 +461,15 @@ class VerificationServer:
             persist_result=not deadline_truncated,
             worker_id=owner,
         ):
-            self.metrics.increment("jobs_completed")
-            self.metrics.job_latency.observe(time.monotonic() - started)
+            self.events.fire(
+                JobCompleted(
+                    job_id=stored.id,
+                    data={
+                        "seconds": time.monotonic() - started,
+                        "cache_hit": cache_hit,
+                    },
+                )
+            )
 
     def _process(self, stored: StoredJob, worker_id: Optional[str] = None) -> None:
         started = time.monotonic()
@@ -443,10 +499,11 @@ class VerificationServer:
                     stored, token, deadline_ms_binding(stored)
                 )
             except Exception as error:
-                if self.store.mark_error(
-                    stored.id, f"{type(error).__name__}: {error}", worker_id=worker_id
-                ):
-                    self.metrics.increment("jobs_failed")
+                message = f"{type(error).__name__}: {error}"
+                if self.store.mark_error(stored.id, message, worker_id=worker_id):
+                    self.events.fire(
+                        JobFailed(job_id=stored.id, data={"error": message})
+                    )
                 return
             self._finalize_result(
                 stored, result, cache_hit, deadline_truncated, started, owner=worker_id
@@ -473,16 +530,17 @@ class VerificationServer:
         job = stored.to_job()
         cached = self.cache.get(job.fingerprint)
         if cached is not None:
-            self.store.append_event(
-                stored.id, "done", {"data": {"outcome": cached.outcome.value, "cache_hit": True}}
+            self.events.fire(
+                CacheServed(
+                    job_id=stored.id,
+                    data={"outcome": cached.outcome.value, "cache_hit": True},
+                )
             )
             return cached, True, False
-        self.metrics.increment("verifications_run")
+        self.events.fire(VerificationStarted(job_id=stored.id))
         control = SearchControl(
             token=token,
-            event_sink=lambda event: self.store.append_event(
-                stored.id, event.kind, {"data": event.data}
-            ),
+            event_sink=self.events.progress_sink(stored.id),
             progress_interval=self.progress_interval,
         )
         result = Verifier(job.system(), job.options()).verify(job.ltl_property(), control)
@@ -513,7 +571,7 @@ class VerificationServer:
                 if not self.store.acquire_lease(
                     "sweeper", self._lease_owner, lease_ttl
                 ):
-                    self.metrics.increment("sweeper_lease_misses")
+                    self.events.fire(SweeperLeaseMiss())
                     continue
                 swept = self.store.sweep_expired()
                 # Rescue jobs whose owner went dark (its heartbeats
@@ -522,7 +580,7 @@ class VerificationServer:
                 # carry no heartbeat and are never touched.
                 stale = self.store.requeue_stale(self.stale_heartbeat_seconds)
                 if stale:
-                    self.metrics.increment("stale_jobs_requeued", stale)
+                    self.events.fire(StaleJobsRequeued(data={"count": stale}))
                     self._wakeup.set()
             except sqlite3.ProgrammingError:  # store closed mid-shutdown
                 return
@@ -532,8 +590,7 @@ class VerificationServer:
                 # the sweeper: the next pass simply retries.
                 continue
             if swept["jobs"]:
-                self.metrics.increment("jobs_expired", swept["jobs"])
-                self.metrics.increment("results_expired", swept["results"])
+                self.events.fire(SweepCompleted(data=swept))
 
     def _heartbeat_loop(self) -> None:
         # A dedicated thread, deliberately NOT the sweeper: it is the only
@@ -654,7 +711,11 @@ class VerificationServer:
             stored = self.store.submit(
                 job, label=label, ttl_seconds=ttl_seconds, deadline_ms=deadline_ms
             )
-            self.metrics.increment("jobs_submitted")
+            self.events.fire(
+                JobSubmitted(
+                    job_id=stored.id, data={"fingerprint": stored.fingerprint}
+                )
+            )
             accepted.append(
                 {
                     "id": stored.id,
@@ -714,7 +775,7 @@ class VerificationServer:
                 if canceller is not None:
                     canceller()
         if fresh:
-            self.metrics.increment("cancel_requests")
+            self.events.fire(CancelRequested(job_id=job_id, data={"disposition": disposition}))
         return {
             "id": job_id,
             "status": disposition,
@@ -743,7 +804,60 @@ class VerificationServer:
             "terminal": stored.status in TERMINAL_STATUSES,
         }
 
-    def jobs_view(self, status: Optional[str] = None, limit: int = 100) -> Dict[str, Any]:
+    def events_view_wait(
+        self, job_id: str, cursor: int = 0, limit: int = 500, wait_ms: int = 0
+    ) -> Optional[Dict[str, Any]]:
+        """:meth:`events_view`, but blocking up to *wait_ms* for news.
+
+        Returns immediately when the page already has events, the job is
+        terminal (nothing more will ever arrive), or the job is unknown.
+        Otherwise the handler thread subscribes to the in-process broker and
+        sleeps until a store commit touches the job -- re-reading the cursor
+        at least every :attr:`push_fallback_interval` regardless, which is
+        what bounds delivery of events written by *other* servers sharing
+        the store.  A deadline hit returns the (empty) page: long-polling is
+        plain polling with the dead time pushed server-side.
+        """
+        wait_ms = max(0, min(int(wait_ms), self.long_poll_max_ms))
+        view = self.events_view(job_id, cursor=cursor, limit=limit)
+        if view is None or view["events"] or view["terminal"] or wait_ms == 0:
+            return view
+        deadline = time.monotonic() + wait_ms / 1000.0
+        # Subscribe BEFORE re-reading: a write landing between the read and
+        # the wait bumps the subscription's generation, so the next wait()
+        # returns at once instead of sleeping out the interval.
+        with self.broker.subscription(job_id) as subscription:
+            while True:
+                view = self.events_view(job_id, cursor=cursor, limit=limit)
+                if view is None or view["events"] or view["terminal"]:
+                    return view
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return view
+                subscription.wait(min(remaining, self.push_fallback_interval))
+
+    def jobs_view(
+        self,
+        status: Optional[str] = None,
+        limit: int = 100,
+        ids: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """The ``GET /v1/jobs`` body.
+
+        With ``ids`` (repeated ``?id=`` query params) this is the *batch
+        status view*: one round-trip returns the listed jobs -- including
+        each done job's result, so a waiting client needs no follow-up GET
+        per job -- with unknown ids simply absent.  Without ``ids`` it is
+        the recency listing, as before.
+        """
+        if ids is not None:
+            views = []
+            for stored in self.store.get_jobs(ids):
+                result = None
+                if stored.status == "done":
+                    result = self.store.get_result(stored.fingerprint, count=False)
+                views.append(stored.as_dict(result=result))
+            return {"jobs": views}
         return {
             "jobs": [stored.as_dict() for stored in self.store.list_jobs(status, limit)],
             "counts": self.store.counts(),

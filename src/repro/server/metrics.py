@@ -135,6 +135,12 @@ class ServerMetrics:
             "stale_jobs_requeued": 0,
             "sweeper_lease_misses": 0,
             "requests": 0,
+            # Event-bus delivery: every typed event fired through the
+            # EventManager, and how many /v1/jobs/<id>/events requests used
+            # push-style delivery (long-poll via ?wait_ms=, SSE streams).
+            "events_emitted": 0,
+            "long_poll_requests": 0,
+            "sse_requests": 0,
         }
         self.job_latency = LatencyTracker()
         self.worker_gauges = WorkerGauges()

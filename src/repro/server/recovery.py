@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.events import EventManager, RecoveryCompleted
 from repro.server.store import JobStore
 
 
@@ -75,6 +76,7 @@ def recover(
     store: JobStore,
     server_id: Optional[str] = None,
     heartbeat_grace_seconds: Optional[float] = None,
+    events: Optional[EventManager] = None,
 ) -> RecoveryReport:
     """Repair *store* after an unclean shutdown and report what was found.
 
@@ -97,7 +99,7 @@ def recover(
         owner_prefix=owner_prefix, heartbeat_grace_seconds=heartbeat_grace_seconds
     )
     counts = store.counts()
-    return RecoveryReport(
+    report = RecoveryReport(
         requeued=requeued,
         queued=counts["queued"],
         completed=counts["done"],
@@ -106,3 +108,8 @@ def recover(
         cancelled_interrupted=cancelled_interrupted,
         results_retained=store.result_count(),
     )
+    if events is not None:
+        # Onto the bus (a log line when a LogSink listens, an
+        # events_emitted tick): recovery is an event like any other.
+        events.fire(RecoveryCompleted(data=report.as_dict()))
+    return report

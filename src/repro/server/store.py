@@ -75,7 +75,7 @@ import time
 import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.verifier import VerificationResult
 from repro.service.cache import ResultCache
@@ -290,6 +290,16 @@ class JobStore:
         self._pool: List[Tuple[threading.Thread, sqlite3.Connection]] = []
         self._pool_lock = threading.Lock()
         self._closed = False
+        #: Post-commit hook called with a job id after any write that could
+        #: make new data visible to an event poller of that job (an event
+        #: append or a status flip).  The server wires this to its
+        #: ``EventBroker.notify`` so long-poll/SSE waiters wake immediately
+        #: instead of sleeping out their fallback interval.  Fired strictly
+        #: *after* the transaction commits -- a woken waiter re-reads the
+        #: store and must see the data -- and never from inside one, so the
+        #: hook cannot extend the write lock.  Exceptions are swallowed:
+        #: delivery is best-effort on top of the durable log.
+        self.on_job_update: Optional[Callable[[str], None]] = None
         self._stats_lock = threading.Lock()
         self.store_hits = 0
         self.store_misses = 0
@@ -345,6 +355,16 @@ class JobStore:
         correctness.
         """
         return max(self._now(), time.time())
+
+    def _notify(self, job_id: str) -> None:
+        """Fire :attr:`on_job_update` (post-commit, best-effort)."""
+        listener = self.on_job_update
+        if listener is None:
+            return
+        try:
+            listener(job_id)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------- connections
 
@@ -697,13 +717,14 @@ class JobStore:
                     "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
                     (now, now, job_id),
                 )
-                return True
-            conn.execute(
-                "UPDATE jobs SET status = 'queued', started_at = NULL,"
-                " claimed_by = NULL, heartbeat_at = NULL WHERE id = ?",
-                (job_id,),
-            )
-            return True
+            else:
+                conn.execute(
+                    "UPDATE jobs SET status = 'queued', started_at = NULL,"
+                    " claimed_by = NULL, heartbeat_at = NULL WHERE id = ?",
+                    (job_id,),
+                )
+        self._notify(job_id)
+        return True
 
     def requeue_stale(self, max_age_seconds: float) -> int:
         """Re-queue ``running`` jobs whose heartbeat went stale; returns the count.
@@ -803,7 +824,10 @@ class JobStore:
                     worker_id,
                 ),
             )
-            return cursor.rowcount > 0
+            landed = cursor.rowcount > 0
+        if landed:
+            self._notify(job_id)
+        return landed
 
     def mark_error(
         self, job_id: str, message: str, worker_id: Optional[str] = None
@@ -821,7 +845,10 @@ class JobStore:
                 " AND (? IS NULL OR claimed_by IS ?)",
                 (message, now, now, job_id, worker_id, worker_id),
             )
-            return cursor.rowcount > 0
+            landed = cursor.rowcount > 0
+        if landed:
+            self._notify(job_id)
+        return landed
 
     def mark_cancelled(
         self,
@@ -855,7 +882,10 @@ class JobStore:
                     worker_id,
                 ),
             )
-            return cursor.rowcount > 0
+            landed = cursor.rowcount > 0
+        if landed:
+            self._notify(job_id)
+        return landed
 
     def request_cancel(self, job_id: str) -> Optional[Tuple[str, bool]]:
         """Request cooperative cancellation of a job.
@@ -882,6 +912,7 @@ class JobStore:
             if row is None:
                 return None
             status = row["status"]
+            outcome: Tuple[str, bool]
             if status == "queued":
                 self._append_event_txn(
                     conn, job_id, "cancel", {"data": {"disposition": "cancelled"}}
@@ -894,8 +925,8 @@ class JobStore:
                     "   THEN ? + ttl_seconds ELSE NULL END WHERE id = ?",
                     (now, now, job_id),
                 )
-                return "cancelled", True
-            if status == "running":
+                outcome = ("cancelled", True)
+            elif status == "running":
                 if row["cancel_requested"]:
                     return "cancelling", False
                 self._append_event_txn(
@@ -904,8 +935,11 @@ class JobStore:
                 conn.execute(
                     "UPDATE jobs SET cancel_requested = 1 WHERE id = ?", (job_id,)
                 )
-                return "cancelling", True
-            return status, False
+                outcome = ("cancelling", True)
+            else:
+                return status, False
+        self._notify(job_id)
+        return outcome
 
     def is_cancel_requested(self, job_id: str) -> bool:
         with self._read() as conn:
@@ -1053,6 +1087,33 @@ class JobStore:
             ).fetchone()
         return StoredJob._from_row(row) if row is not None else None
 
+    def get_jobs(self, job_ids: Sequence[str]) -> List[StoredJob]:
+        """The stored jobs among *job_ids*, in input order; unknown ids are
+        simply absent (the caller decides whether that is an error).
+
+        One ``IN (...)`` query per 500 ids -- the batch-status primitive
+        behind ``GET /v1/jobs?id=a&id=b``, turning a client's per-job status
+        polling into one round-trip per poll cycle.
+        """
+        ids = [str(job_id) for job_id in job_ids]
+        by_id: Dict[str, StoredJob] = {}
+        with self._read() as conn:
+            for start in range(0, len(ids), 500):
+                chunk = ids[start : start + 500]
+                placeholders = ",".join("?" for _ in chunk)
+                rows = conn.execute(
+                    f"SELECT * FROM jobs WHERE id IN ({placeholders})", chunk
+                ).fetchall()
+                for row in rows:
+                    by_id[row["id"]] = StoredJob._from_row(row)
+        seen = set()
+        ordered = []
+        for job_id in ids:
+            if job_id in by_id and job_id not in seen:
+                seen.add(job_id)
+                ordered.append(by_id[job_id])
+        return ordered
+
     def list_jobs(
         self, status: Optional[str] = None, limit: int = 100
     ) -> List[StoredJob]:
@@ -1146,7 +1207,9 @@ class JobStore:
         event) instead of blocking on a contended write lock.
         """
         with self._write(busy_timeout_seconds=busy_timeout_seconds) as conn:
-            return self._append_event_txn(conn, job_id, kind, payload)
+            seq = self._append_event_txn(conn, job_id, kind, payload)
+        self._notify(job_id)
+        return seq
 
     def _append_event_txn(
         self, conn: sqlite3.Connection, job_id: str, kind: str, payload: Dict[str, Any]

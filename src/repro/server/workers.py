@@ -63,6 +63,14 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.core.control import CancellationToken, SearchControl
 from repro.core.verifier import VerificationResult, Verifier
+from repro.events import (
+    CacheServed,
+    JobFailed,
+    SearchEvent,
+    VerificationStarted,
+    WorkerCrashed,
+    WorkerRecycled,
+)
 from repro.service.jobs import VerificationJob
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (app imports us)
@@ -214,7 +222,7 @@ class ProcessWorkerAgent(threading.Thread):
             if self._jobs_on_child < self.server.max_jobs_per_worker:
                 return
             self._shutdown_child()  # recycle: bounded worker lifetime
-            self.server.metrics.increment("worker_recycles")
+            self.server.events.fire(WorkerRecycled(data={"worker": self.worker_id}))
             self.server.metrics.worker_gauges.increment(self.worker_id, "recycles")
         if self.process is not None and not self.process.is_alive():
             self._close_pipes()
@@ -314,10 +322,11 @@ class ProcessWorkerAgent(threading.Thread):
             job = stored.to_job()
             cached = server.cache.get(job.fingerprint)
             if cached is not None:
-                server.store.append_event(
-                    stored.id,
-                    "done",
-                    {"data": {"outcome": cached.outcome.value, "cache_hit": True}},
+                server.events.fire(
+                    CacheServed(
+                        stored.id,
+                        {"outcome": cached.outcome.value, "cache_hit": True},
+                    )
                 )
                 server._finalize_result(
                     stored, cached, True, False, started, owner=self.worker_id
@@ -333,7 +342,7 @@ class ProcessWorkerAgent(threading.Thread):
                 # above only reached the store; fold it into the event now.
                 if server.store.is_cancel_requested(stored.id):
                     self._cancel_event.set()
-                server.metrics.increment("verifications_run")
+                server.events.fire(VerificationStarted(job_id=stored.id))
                 self._jobs_on_child += 1
                 self._conn.send(
                     {
@@ -379,18 +388,16 @@ class ProcessWorkerAgent(threading.Thread):
             if message is not None:
                 kind = message[0]
                 if kind == "event":
-                    try:
-                        server.store.append_event(
-                            stored.id, message[1], {"data": message[2]},
-                            busy_timeout_seconds=(
-                                server.store.heartbeat_busy_timeout_seconds
-                            ),
+                    # Onto the bus as a lossy SearchEvent: the StoreSink
+                    # appends it under the short fail-fast busy timeout and
+                    # drops it on contention -- dropping a progress event
+                    # beats blocking this thread past the staleness window
+                    # (it also runs the job's heartbeats).
+                    server.events.fire(
+                        SearchEvent(
+                            job_id=stored.id, data=message[2], kind=message[1]
                         )
-                    except sqlite3.OperationalError:
-                        # Progress events are lossy observability: dropping
-                        # one beats blocking this thread past the staleness
-                        # window (it also runs the job's heartbeats).
-                        pass
+                    )
                 elif kind == "done":
                     result = VerificationResult.from_dict(message[1])
                     truncated = deadline_ms_binding(stored) and result.stats.timed_out
@@ -403,7 +410,9 @@ class ProcessWorkerAgent(threading.Thread):
                     if server.store.mark_error(
                         stored.id, message[1], worker_id=self.worker_id
                     ):
-                        server.metrics.increment("jobs_failed")
+                        server.events.fire(
+                            JobFailed(job_id=stored.id, data={"error": message[1]})
+                        )
                     return "error"
             elif not self.process.is_alive():
                 # One final poll: the child may have flushed its terminal
@@ -435,7 +444,6 @@ class ProcessWorkerAgent(threading.Thread):
         server = self.server
         exitcode = self.process.exitcode if self.process is not None else None
         self._close_pipes()
-        server.metrics.increment("worker_crashes")
         server.metrics.worker_gauges.increment(self.worker_id, "crashes")
         # Same rule as restart recovery: an accepted cancel is honoured
         # (finalise `cancelled`), otherwise the job re-queues -- verification
@@ -443,22 +451,23 @@ class ProcessWorkerAgent(threading.Thread):
         # ownership predicate makes this a no-op if a peer server's sweeper
         # already rescued (and possibly re-claimed) the job.
         released = server.store.release(stored.id, self.worker_id)
-        if released:
-            server.store.append_event(
-                stored.id,
-                "worker-crash",
-                {
-                    "data": {
-                        "worker": self.worker_id,
-                        "exitcode": exitcode,
-                        "disposition": (
-                            "cancelled"
-                            if server.store.is_cancel_requested(stored.id)
-                            else "requeued"
-                        ),
-                    }
+        # WorkerCrashed is durable-when-job-scoped: the job id is attached
+        # only when the release landed (the rescued job's event log belongs
+        # to its new owner); the crash counter bumps either way.
+        server.events.fire(
+            WorkerCrashed(
+                job_id=stored.id if released else None,
+                data={
+                    "worker": self.worker_id,
+                    "exitcode": exitcode,
+                    "disposition": (
+                        "cancelled"
+                        if server.store.is_cancel_requested(stored.id)
+                        else "requeued"
+                    ),
                 },
             )
+        )
         server._wakeup.set()  # a requeued job is claimable again -- by anyone
 
 

@@ -1,0 +1,438 @@
+"""Push delivery of progress events: long-poll, SSE, and the request-count
+acceptance bound.
+
+The headline guarantee: a job whose log holds N events is fully observed
+over long-poll with at most ``ceil(N / limit) + 1`` HTTP requests -- one per
+full page plus at most one closing probe -- and never more requests than the
+plain-polling baseline.  The same bound must hold when the observing server
+is NOT the one that wrote the events (two servers sharing one store file),
+where delivery degrades to the store-cursor fallback instead of in-process
+wakeups.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.client import ClientError, VerifasClient
+from repro.has.conditions import Const, Eq, Var
+from repro.ltl import LTLFOProperty, parse_ltl
+from repro.server import VerificationServer
+from repro.spec import dump_property, dump_system
+
+OPTIONS = {"timeout_seconds": 60}
+
+
+def _property():
+    return LTLFOProperty(
+        "Main", parse_ltl("F p"),
+        {"p": Eq(Var("status"), Const("picked"))}, name="eventually-picked",
+    )
+
+
+class CountingClient(VerifasClient):
+    """A client that counts every HTTP request it issues."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.request_count = 0
+
+    def _request(self, method, path, payload=None, timeout=None):
+        self.request_count += 1
+        return super()._request(method, path, payload, timeout=timeout)
+
+
+@pytest.fixture
+def idle_server(tmp_path):
+    """A worker-less server: jobs stay queued until the test drives them."""
+    server = VerificationServer(
+        store_path=tmp_path / "jobs.db", port=0, workers=0,
+        push_fallback_interval=0.05,
+    )
+    server.start()
+    yield server
+    server.stop()
+
+
+def _submit_one(server, tiny_system, ttl_seconds=None):
+    client = VerifasClient(server.url)
+    payload = {
+        "system": dump_system(tiny_system),
+        "properties": [dump_property(_property())],
+        "options": OPTIONS,
+    }
+    if ttl_seconds is not None:
+        payload["ttl_seconds"] = ttl_seconds
+    return client.submit_payload(payload)[0]
+
+
+def _append_events(store, job_id, count, start=0):
+    for index in range(start, start + count):
+        store.append_event(
+            job_id, "progress", {"data": {"states_explored": (index + 1) * 25}}
+        )
+
+
+# ------------------------------------------------------- the acceptance bound
+
+
+class TestRequestCountBound:
+    @pytest.mark.parametrize("n_events,limit", [(100, 30), (100, 25), (7, 500)])
+    def test_push_drain_within_page_bound(
+        self, idle_server, tiny_system, n_events, limit
+    ):
+        """N logged events over long-poll: at most ceil(N/limit)+1 requests."""
+        handle = _submit_one(idle_server, tiny_system)
+        _append_events(idle_server.store, handle.id, n_events)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        client = CountingClient(idle_server.url, push_events=True, wait_ms=2_000)
+        events = list(client.iter_events(handle.id, poll_limit=limit))
+        assert len(events) == n_events
+        assert [e["seq"] for e in events] == list(range(1, n_events + 1))
+        assert client.request_count <= math.ceil(n_events / limit) + 1
+
+    def test_terminal_short_page_needs_no_closing_probe(
+        self, idle_server, tiny_system
+    ):
+        """A terminal page shorter than the limit ends iteration on the spot:
+        exactly ceil(N/limit) requests, no extra round-trip (satellite fix)."""
+        handle = _submit_one(idle_server, tiny_system)
+        _append_events(idle_server.store, handle.id, 10)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        client = CountingClient(idle_server.url, push_events=True, wait_ms=2_000)
+        assert len(list(client.iter_events(handle.id, poll_limit=500))) == 10
+        assert client.request_count == 1
+
+    def test_limit_exactly_at_page_size(self, idle_server, tiny_system):
+        """N == limit: the full page cannot prove completeness, so exactly
+        one closing probe follows -- the "+1" in the bound, no worse."""
+        handle = _submit_one(idle_server, tiny_system)
+        _append_events(idle_server.store, handle.id, 20)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        client = CountingClient(idle_server.url, push_events=True, wait_ms=2_000)
+        assert len(list(client.iter_events(handle.id, poll_limit=20))) == 20
+        assert client.request_count == 2
+
+    def test_push_beats_polling_on_a_slow_emitter(self, idle_server, tiny_system):
+        """Live emission: long-poll parks on the server between events, while
+        the polling baseline burns empty pages -- push issues fewer requests
+        and still sees every event."""
+        n_events = 8
+
+        def run(client_cls, push):
+            handle = _submit_one(idle_server, tiny_system)
+
+            def emit():
+                for index in range(n_events):
+                    time.sleep(0.06)
+                    _append_events(idle_server.store, handle.id, 1, start=index)
+                idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+            emitter = threading.Thread(target=emit)
+            emitter.start()
+            client = client_cls(
+                idle_server.url, push_events=push, wait_ms=5_000,
+                poll_initial=0.005, poll_max=0.02,
+            )
+            events = list(client.iter_events(handle.id, deadline_seconds=30))
+            emitter.join()
+            return events, client.request_count
+
+        push_events, push_requests = run(CountingClient, push=True)
+        poll_events, poll_requests = run(CountingClient, push=False)
+        assert len(push_events) == len(poll_events) == n_events
+        assert push_requests <= poll_requests
+        # Push never needs more than one wakeup per event plus the close.
+        assert push_requests <= n_events + 1
+
+    def test_idle_long_poll_parks_in_one_request(self, idle_server, tiny_system):
+        """A long-poll on a quiet job is ONE held request, not a poll storm."""
+        handle = _submit_one(idle_server, tiny_system)
+        client = CountingClient(idle_server.url)
+        started = time.monotonic()
+        page = client.events(handle.id, wait_ms=300)
+        elapsed = time.monotonic() - started
+        assert client.request_count == 1
+        assert page["events"] == [] and page["terminal"] is False
+        assert 0.25 <= elapsed < 5.0
+
+    def test_long_poll_wakes_promptly_on_append(self, idle_server, tiny_system):
+        handle = _submit_one(idle_server, tiny_system)
+
+        def append_soon():
+            time.sleep(0.1)
+            _append_events(idle_server.store, handle.id, 1)
+
+        appender = threading.Thread(target=append_soon)
+        appender.start()
+        started = time.monotonic()
+        page = VerifasClient(idle_server.url).events(handle.id, wait_ms=10_000)
+        elapsed = time.monotonic() - started
+        appender.join()
+        assert len(page["events"]) == 1
+        assert elapsed < 5.0  # woke on the append, not the 10s deadline
+
+
+class TestTwoServersSharedStore:
+    def test_push_bound_holds_across_servers(self, tmp_path, tiny_system):
+        """Events written via server A are observed via server B under the
+        same request bound: B's broker never hears about A's commits, so
+        delivery rides the store-cursor fallback re-read."""
+        store_path = tmp_path / "shared.db"
+        a = VerificationServer(
+            store_path=store_path, port=0, workers=0, server_id="a",
+            push_fallback_interval=0.05,
+        )
+        a.start()
+        b = VerificationServer(
+            store_path=store_path, port=0, workers=0, server_id="b",
+            push_fallback_interval=0.05,
+        )
+        b.start()
+        try:
+            handle = _submit_one(a, tiny_system)
+            n_events, limit = 100, 30
+            _append_events(a.store, handle.id, n_events)
+            a.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+            client = CountingClient(b.url, push_events=True, wait_ms=2_000)
+            events = list(client.iter_events(handle.id, poll_limit=limit))
+            assert len(events) == n_events
+            assert client.request_count <= math.ceil(n_events / limit) + 1
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_cross_server_live_append_arrives_within_fallback(
+        self, tmp_path, tiny_system
+    ):
+        """A long-poll held by B sees an event A writes within (roughly) one
+        fallback interval, without any cross-process signalling."""
+        store_path = tmp_path / "shared.db"
+        a = VerificationServer(store_path=store_path, port=0, workers=0, server_id="a")
+        a.start()
+        b = VerificationServer(
+            store_path=store_path, port=0, workers=0, server_id="b",
+            push_fallback_interval=0.05,
+        )
+        b.start()
+        try:
+            handle = _submit_one(a, tiny_system)
+
+            def append_via_a():
+                time.sleep(0.15)
+                _append_events(a.store, handle.id, 1)
+
+            appender = threading.Thread(target=append_via_a)
+            appender.start()
+            page = VerifasClient(b.url).events(handle.id, wait_ms=10_000)
+            appender.join()
+            assert len(page["events"]) == 1
+        finally:
+            a.stop()
+            b.stop()
+
+
+# ----------------------------------------------------------------------- SSE
+
+
+def _read_sse(url, job_id, timeout=30.0, cursor=None, last_event_id=None):
+    """Open the SSE stream and return its parsed frames (reads to EOF)."""
+    query = f"?wait_ms=5000" + (f"&cursor={cursor}" if cursor is not None else "")
+    headers = {"Accept": "text/event-stream"}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    request = urllib.request.Request(f"{url}/v1/jobs/{job_id}/events{query}", headers=headers)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        assert response.headers["Content-Type"].startswith("text/event-stream")
+        raw = response.read().decode("utf-8")
+    frames = []
+    for block in raw.split("\n\n"):
+        if not block.strip():
+            continue
+        frame = {}
+        for line in block.splitlines():
+            key, _, value = line.partition(":")
+            frame[key] = value.strip()
+        frame["data"] = json.loads(frame["data"])
+        frames.append(frame)
+    return frames
+
+
+class TestServerSentEvents:
+    def test_stream_replays_log_and_closes_on_terminal(
+        self, idle_server, tiny_system
+    ):
+        handle = _submit_one(idle_server, tiny_system)
+        _append_events(idle_server.store, handle.id, 3)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        frames = _read_sse(idle_server.url, handle.id)
+        assert [f["event"] for f in frames] == ["progress"] * 3 + ["terminal"]
+        assert [f["id"] for f in frames[:3]] == ["1", "2", "3"]
+        assert frames[-1]["data"]["status"] == "done"
+        assert frames[-1]["data"]["terminal"] is True
+        assert idle_server.metrics.counter("sse_requests") == 1
+
+    def test_stream_follows_live_appends(self, idle_server, tiny_system):
+        handle = _submit_one(idle_server, tiny_system)
+
+        def emit():
+            for index in range(4):
+                time.sleep(0.05)
+                _append_events(idle_server.store, handle.id, 1, start=index)
+            idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        emitter = threading.Thread(target=emit)
+        emitter.start()
+        frames = _read_sse(idle_server.url, handle.id)
+        emitter.join()
+        assert [f["event"] for f in frames] == ["progress"] * 4 + ["terminal"]
+
+    def test_last_event_id_resumes_mid_stream(self, idle_server, tiny_system):
+        handle = _submit_one(idle_server, tiny_system)
+        _append_events(idle_server.store, handle.id, 5)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        frames = _read_sse(idle_server.url, handle.id, last_event_id=3)
+        assert [f["id"] for f in frames[:-1]] == ["4", "5"]
+
+    def test_unknown_job_is_a_404_not_a_stream(self, idle_server):
+        request = urllib.request.Request(
+            f"{idle_server.url}/v1/jobs/no-such-job/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+
+
+# ------------------------------------------------------------- edge cases
+
+
+class TestEventCursorEdges:
+    def test_cursor_beyond_last_seq_returns_fast_when_terminal(
+        self, idle_server, tiny_system
+    ):
+        handle = _submit_one(idle_server, tiny_system)
+        _append_events(idle_server.store, handle.id, 3)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        started = time.monotonic()
+        page = VerifasClient(idle_server.url).events(
+            handle.id, cursor=999, wait_ms=10_000
+        )
+        assert time.monotonic() - started < 5.0  # terminal: no parking
+        assert page["events"] == [] and page["terminal"] is True
+        assert page["cursor"] == 999  # the cursor never moves backwards
+
+    def test_job_swept_mid_iteration_surfaces_as_404(self, idle_server, tiny_system):
+        handle = _submit_one(idle_server, tiny_system, ttl_seconds=0.01)
+        _append_events(idle_server.store, handle.id, 2)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+
+        client = VerifasClient(idle_server.url, push_events=True, wait_ms=1_000)
+        first_page = client.events(handle.id, cursor=0, limit=1)
+        assert len(first_page["events"]) == 1
+
+        time.sleep(0.05)
+        swept = idle_server.store.sweep_expired()
+        assert swept["jobs"] == 1
+
+        with pytest.raises(ClientError) as excinfo:
+            client.events(handle.id, cursor=first_page["cursor"], wait_ms=1_000)
+        assert excinfo.value.status == 404
+
+    @pytest.mark.parametrize(
+        "hostile",
+        ["../../../etc/passwd", "a b%00c", "<script>alert(1)</script>", "."],
+    )
+    def test_hostile_job_ids_get_quick_404s(self, idle_server, hostile):
+        client = VerifasClient(idle_server.url)
+        started = time.monotonic()
+        with pytest.raises(ClientError) as excinfo:
+            client.events(hostile, wait_ms=10_000)
+        assert excinfo.value.status == 404
+        assert time.monotonic() - started < 5.0  # unknown job: no parking
+
+        from urllib.parse import quote
+
+        request = urllib.request.Request(
+            f"{idle_server.url}/v1/jobs/{quote(hostile, safe='')}/events?wait_ms=10000",
+            headers={"Accept": "text/event-stream"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as sse_excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert sse_excinfo.value.code == 404
+
+
+# ------------------------------------------------------- batch status view
+
+
+class TestBatchStatusView:
+    def test_batch_view_returns_listed_jobs_with_results(
+        self, idle_server, tiny_system
+    ):
+        first = _submit_one(idle_server, tiny_system)
+        second = _submit_one(idle_server, tiny_system)
+        idle_server.store.mark_done(first.id, {"outcome": "satisfied"})
+
+        client = CountingClient(idle_server.url)
+        views = client.job_views([first.id, second.id, "no-such-job"])
+        assert client.request_count == 1  # the whole batch is one round-trip
+        assert set(views) == {first.id, second.id}
+        assert views[first.id]["status"] == "done"
+        assert views[first.id]["result"] == {"outcome": "satisfied"}
+        assert views[second.id]["status"] == "queued"
+        assert views[second.id].get("result") is None
+
+    def test_wait_all_uses_one_request_per_round(self, idle_server, tiny_system):
+        handles = [_submit_one(idle_server, tiny_system) for _ in range(3)]
+        for handle in handles:
+            idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+        client = CountingClient(idle_server.url)
+        views = client.wait_all([h.id for h in handles], deadline_seconds=10)
+        assert len(views) == 3
+        assert client.request_count == 1
+
+    def test_wait_all_unknown_id_is_an_error(self, idle_server, tiny_system):
+        handle = _submit_one(idle_server, tiny_system)
+        idle_server.store.mark_done(handle.id, {"outcome": "satisfied"})
+        with pytest.raises(ClientError) as excinfo:
+            VerifasClient(idle_server.url).wait_all([handle.id, "ghost"])
+        assert excinfo.value.status == 404
+
+
+# --------------------------------------------------- end-to-end with workers
+
+
+class TestPushWithRealWorkers:
+    def test_real_job_fully_observed_over_push(self, tmp_path, worker_model, tiny_system):
+        server = VerificationServer(
+            store_path=tmp_path / "jobs.db", port=0, workers=1,
+            progress_interval=25, worker_model=worker_model,
+        )
+        server.start()
+        try:
+            client = CountingClient(server.url, push_events=True, wait_ms=5_000)
+            handle = client.submit(
+                dump_system(tiny_system), [dump_property(_property())], options=OPTIONS
+            )[0]
+            events = list(client.iter_events(handle.id, deadline_seconds=60))
+            kinds = [event["kind"] for event in events]
+            assert kinds[0] == "phase"
+            assert kinds[-1] == "done"
+            assert server.metrics.counter("long_poll_requests") >= 1
+            assert server.metrics.counter("events_emitted") > 0
+        finally:
+            server.stop()
