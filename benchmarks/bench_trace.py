@@ -1,0 +1,208 @@
+"""Tracing/profiling overhead benchmark for ``repro.obs``.
+
+Not a pytest file (no ``test_`` prefix): run it directly to (re)generate
+``BENCH_trace.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_trace.py
+
+Measures, on the current machine:
+
+* ``disabled_hooks``  -- nanoseconds per hook call on an *untraced*
+  ``SearchControl`` (the shared no-op singletons every search pays when
+  tracing is off), for both hook shapes: ``control.phase(name)`` (hot-loop
+  accumulator) and ``with control.span(name)`` (coarse spans);
+* ``search_overhead`` -- a CPU-bound Karp-Miller search verified three ways,
+  interleaved best-of-N: untraced control (tracing off -- the production
+  default), phase-timer only, and fully traced (PhaseTimer + TraceScope
+  exporting every span).  The headline number is
+  ``disabled_overhead_pct``: hook-call count from the traced run times the
+  measured no-op cost, as a fraction of the untraced runtime -- the cost the
+  instrumentation adds when nobody turned tracing on;
+* ``span_append``     -- spans/sec through ``TraceSink`` into the SQLite
+  ``spans`` table (one write transaction per span, the durable export path);
+* ``phase_breakdown`` -- per-phase wall time of the traced run
+  (``SearchStatistics.phase_seconds``), the numbers behind the
+  ``repro trace`` waterfall's dotted accumulator lines.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.control import PhaseTimer, SearchControl  # noqa: E402
+from repro.core.options import VerifierOptions  # noqa: E402
+from repro.core.verifier import Verifier  # noqa: E402
+from repro.events import EventManager, SpanRecorded, TraceSink  # noqa: E402
+from repro.has.builder import ArtifactSystemBuilder  # noqa: E402
+from repro.has.conditions import Const, Eq, Neq, Var  # noqa: E402
+from repro.has.schema import DatabaseSchema  # noqa: E402
+from repro.ltl import LTLFOProperty, parse_ltl  # noqa: E402
+from repro.obs import TraceScope, Tracer, new_trace_id  # noqa: E402
+
+
+def _exploding_system(variables: int = 7, constants: int = 4):
+    """A system whose symbolic search is CPU-bound for a second or two:
+    big enough that per-hook costs are amortised realistically, small
+    enough that interleaved repetitions keep the benchmark under a minute
+    (same shape as the cancellation tests' exploding fixture)."""
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder("exploding", schema)
+    task = builder.task("Main")
+    task.id_variable("item", "ITEMS")
+    for index in range(variables):
+        task.variable(f"v{index}")
+        for j in range(constants):
+            constant = f"c{j}"
+            task.internal_service(
+                f"set_{index}_{constant}",
+                pre=Neq(Var(f"v{index}"), Const(constant)),
+                post=Eq(Var(f"v{index}"), Const(constant)),
+            )
+    return builder.build()
+
+
+def _property():
+    return LTLFOProperty(
+        "Main", parse_ltl("F p"),
+        {"p": Eq(Var("v0"), Const("c0"))}, name="eventually-c0",
+    )
+
+
+def bench_disabled_hooks(calls: int = 1_000_000) -> dict:
+    """Per-call cost of the no-op hooks an untraced search goes through."""
+    control = SearchControl()  # default control: _NULL_TIMER + _NULL_TRACE
+
+    started = time.perf_counter()
+    for _ in range(calls):
+        with control.phase("successor-generation"):
+            pass
+    phase_ns = (time.perf_counter() - started) / calls * 1e9
+
+    started = time.perf_counter()
+    for _ in range(calls):
+        with control.span("verify.search"):
+            pass
+    span_ns = (time.perf_counter() - started) / calls * 1e9
+
+    return {
+        "calls": calls,
+        "phase_ns_per_call": round(phase_ns, 1),
+        "span_ns_per_call": round(span_ns, 1),
+    }
+
+
+def _run_search(control: SearchControl) -> tuple[float, object]:
+    verifier = Verifier(_exploding_system(), VerifierOptions(timeout_seconds=120))
+    started = time.perf_counter()
+    result = verifier.verify(_property(), control=control)
+    return time.perf_counter() - started, result
+
+
+def bench_search_overhead(repetitions: int = 3, noop_phase_ns: float = 0.0) -> dict:
+    """Interleaved best-of-N A/B/C on the same CPU-bound search."""
+    untraced, timed, traced = [], [], []
+    hook_calls = 0
+    exported_spans = 0
+    phase_seconds: dict = {}
+    for _ in range(repetitions):
+        seconds, _result = _run_search(SearchControl())
+        untraced.append(seconds)
+
+        seconds, result = _run_search(SearchControl(phase_timer=PhaseTimer()))
+        timed.append(seconds)
+
+        spans: list = []
+        tracer = Tracer(enabled=True, exporter=spans.append)
+        scope = TraceScope(tracer, job_id="bench")
+        control = SearchControl(phase_timer=PhaseTimer(), trace=scope)
+        seconds, result = _run_search(control)
+        traced.append(seconds)
+        exported_spans = len(spans)
+        phase_seconds = result.stats.phase_seconds or {}
+        hook_calls = sum(int(p.get("count", 0)) for p in phase_seconds.values())
+
+    base = min(untraced)
+    best_timed = min(timed)
+    best_traced = min(traced)
+    return {
+        "repetitions": repetitions,
+        "untraced_seconds": round(base, 4),
+        "phase_timer_seconds": round(best_timed, 4),
+        "traced_seconds": round(best_traced, 4),
+        "phase_timer_overhead_pct": round((best_timed / base - 1.0) * 100.0, 2),
+        "traced_overhead_pct": round((best_traced / base - 1.0) * 100.0, 2),
+        "hook_calls": hook_calls,
+        "spans_exported": exported_spans,
+        # What the hooks cost when tracing is OFF: the no-op per-call price
+        # times how often the search actually calls them.
+        "disabled_overhead_pct": round(
+            hook_calls * noop_phase_ns / 1e9 / base * 100.0, 3
+        ),
+        "_phase_breakdown": phase_seconds,
+    }
+
+
+def bench_span_append(n_spans: int = 2_000) -> dict:
+    """Durable export throughput: SpanRecorded -> TraceSink -> SQLite."""
+    from repro.server.store import JobStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = JobStore(Path(tmp) / "bench.db")
+        manager = EventManager()
+        manager.add_sink(TraceSink(store))
+        trace_id = new_trace_id()
+        started = time.perf_counter()
+        for index in range(n_spans):
+            manager.fire(SpanRecorded(
+                job_id="bench",
+                trace_id=trace_id,
+                data={
+                    "trace_id": trace_id,
+                    "span_id": f"{index:016x}",
+                    "name": "bench.span",
+                    "start_time": float(index),
+                    "duration": 0.001,
+                    "status": "ok",
+                    "attrs": {"i": index},
+                },
+            ))
+        elapsed = time.perf_counter() - started
+        persisted = store.span_count(trace_id)
+        store.close()
+    return {"spans": n_spans, "persisted": persisted,
+            "seconds": round(elapsed, 4),
+            "spans_per_sec": round(n_spans / elapsed)}
+
+
+def main() -> None:
+    hooks = bench_disabled_hooks()
+    overhead = bench_search_overhead(noop_phase_ns=hooks["phase_ns_per_call"])
+    breakdown = overhead.pop("_phase_breakdown")
+    report = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "disabled_hooks": hooks,
+        "search_overhead": overhead,
+        "span_append": bench_span_append(),
+        "phase_breakdown": {
+            name: {"seconds": round(data["seconds"], 4),
+                   "count": int(data["count"])}
+            for name, data in sorted(
+                breakdown.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        },
+    }
+    output = REPO_ROOT / "BENCH_trace.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

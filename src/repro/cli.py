@@ -24,6 +24,12 @@ Examples::
     # results, cross-server cancellation -- each with a unique --server-id:
     python -m repro serve --port 8080 --store shared.db --server-id a
     python -m repro serve --port 8081 --store shared.db --server-id b
+
+    # Trace a job end to end (submit with tracing on, then render the span
+    # waterfall: client submit -> HTTP handler -> queue wait -> worker ->
+    # search phases with per-phase timing):
+    python -m repro serve --trace --store jobs.db
+    python -m repro trace 7f3a... --url http://127.0.0.1:8080
 """
 
 from __future__ import annotations
@@ -231,6 +237,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             heartbeat_interval=args.heartbeat_interval,
             stale_heartbeat_seconds=args.stale_after,
             event_log_stream=sys.stderr if args.log_events else None,
+            trace_enabled=True if args.trace else None,
         )
     except sqlite3.Error as error:
         print(f"error: cannot open job store {args.store!r}: {error}", file=sys.stderr)
@@ -261,6 +268,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"  listening on {server.url} (Ctrl-C to stop)", flush=True)
     server.serve_forever()  # blocks; Ctrl-C stops gracefully
     print("shut down (queued jobs stay persisted)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.client import ClientError, VerifasClient
+    from repro.obs import render_trace
+
+    client = VerifasClient(args.url)
+    try:
+        view = client.trace(args.job_id)
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(view, indent=2))
+        return 0
+    print(render_trace(view, width=args.width))
+    if not view.get("spans"):
+        print(
+            "hint: the server records spans only when started with tracing on"
+            " (repro serve --trace, or REPRO_TRACE=1)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -370,10 +402,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one line per server event (job lifecycle, worker crashes,"
              " sweeps) to stderr via the event bus's log sink",
     )
+    serve.add_argument(
+        "--trace", action="store_true", dest="trace",
+        help="record distributed-trace spans for every job (client submit, HTTP"
+             " handler, queue wait, worker execution, search phases); view them"
+             " with `repro trace <job-id>`.  Equivalent to REPRO_TRACE=1",
+    )
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     _add_option_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render the span waterfall of a job run on a --trace server",
+    )
+    trace.add_argument("job_id", metavar="JOB-ID")
+    trace.add_argument("--url", default="http://127.0.0.1:8080", metavar="URL",
+                       help="server base URL (default: http://127.0.0.1:8080)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw trace view as JSON instead of the waterfall")
+    trace.add_argument("--width", type=int, default=100, metavar="COLS",
+                       help="waterfall width in columns (default: 100)")
+    trace.set_defaults(handler=_cmd_trace)
 
     return parser
 

@@ -40,6 +40,7 @@ from repro.client.http import (
     RemoteJobError,
     build_submit_payload,
 )
+from repro.obs import format_traceparent, new_span_id, new_trace_id
 
 
 class AsyncVerifasClient:
@@ -55,6 +56,7 @@ class AsyncVerifasClient:
         poll_backoff: float = 1.6,
         push_events: bool = True,
         wait_ms: int = 10_000,
+        trace_submissions: bool = True,
     ):
         self.base_url = base_url.rstrip("/")
         split = urlsplit(
@@ -77,6 +79,9 @@ class AsyncVerifasClient:
         #: consumption, and the server side has always supported it.
         self.push_events = push_events
         self.wait_ms = max(1, int(wait_ms))
+        #: Whether submissions carry a fresh W3C ``traceparent`` header
+        #: (mirrors the sync client).
+        self.trace_submissions = trace_submissions
         # Created lazily inside a running loop: instantiating the client at
         # module import time (no loop yet) must work on Python 3.9, where a
         # Semaphore binds the loop that exists at construction.  Re-created
@@ -100,14 +105,19 @@ class AsyncVerifasClient:
         path: str,
         payload: Optional[Any] = None,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {self._prefix}{path} HTTP/1.1\r\n"
             f"Host: {self._host}:{self._port}\r\n"
             "Accept: application/json\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("ascii")
@@ -214,9 +224,22 @@ class AsyncVerifasClient:
             )
         )
 
-    async def submit_payload(self, payload: Dict[str, Any]) -> List[JobHandle]:
-        """Submit an already-built ``POST /v1/jobs`` payload."""
-        status, body = await self._request("POST", "/v1/jobs", payload)
+    async def submit_payload(
+        self, payload: Dict[str, Any], traceparent: Optional[str] = None
+    ) -> List[JobHandle]:
+        """Submit an already-built ``POST /v1/jobs`` payload.
+
+        Mints and sends a fresh ``traceparent`` unless one is given (or
+        :attr:`trace_submissions` is off), exactly like the sync client.
+        """
+        headers: Dict[str, str] = {}
+        if traceparent is None and self.trace_submissions:
+            traceparent = format_traceparent(new_trace_id(), new_span_id())
+        if traceparent is not None:
+            headers["traceparent"] = traceparent
+        status, body = await self._request(
+            "POST", "/v1/jobs", payload, headers=headers
+        )
         if status != 202:
             raise ClientError(f"unexpected status {status} submitting jobs", status, body)
         return [JobHandle.from_dict(job) for job in body.get("jobs", [])]
@@ -281,6 +304,10 @@ class AsyncVerifasClient:
                 "GET", f"{self._job_path(job_id)}/events?{query}", timeout=timeout
             )
         )[1]
+
+    async def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's span tree: ``GET /v1/jobs/<id>/trace``."""
+        return (await self._request("GET", f"{self._job_path(job_id)}/trace"))[1]
 
     async def cancel(self, job_id: str) -> Dict[str, Any]:
         """``DELETE /v1/jobs/<id>``: cooperative cancellation."""

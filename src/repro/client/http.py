@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from urllib.parse import quote, urlencode
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import format_traceparent, new_span_id, new_trace_id
+
 #: Lifecycle states after which a job can never change again.
 TERMINAL_STATES = ("done", "error", "cancelled")
 
@@ -55,6 +57,9 @@ class JobHandle:
     property: str
     status: str
     url: str
+    #: The distributed trace the job joined (present when the submit carried
+    #: a ``traceparent`` or the server runs with tracing on).
+    trace_id: Optional[str] = None
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobHandle":
@@ -65,6 +70,7 @@ class JobHandle:
             property=data.get("property", ""),
             status=data.get("status", "queued"),
             url=data.get("url", f"/v1/jobs/{quote(str(data['id']), safe='')}"),
+            trace_id=data.get("trace_id"),
         )
 
 
@@ -106,9 +112,15 @@ class VerifasClient:
         poll_backoff: float = 1.6,
         push_events: Optional[bool] = None,
         wait_ms: int = 10_000,
+        trace_submissions: bool = True,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Whether :meth:`submit_payload` injects a W3C ``traceparent``
+        #: header (a fresh trace per submission).  Costs two uuid4s and one
+        #: header; against an untraced server it still stamps the job rows
+        #: for /events correlation, so it defaults on.
+        self.trace_submissions = trace_submissions
         #: Exponential-backoff polling parameters (first wait, cap, factor).
         self.poll_initial = poll_initial
         self.poll_max = poll_max
@@ -131,13 +143,17 @@ class VerifasClient:
         path: str,
         payload: Optional[Any] = None,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=request_headers,
         )
         try:
             with urllib.request.urlopen(
@@ -162,8 +178,34 @@ class VerifasClient:
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/healthz")[1]
 
+    def readyz(self) -> Tuple[bool, Dict[str, Any]]:
+        """``GET /v1/readyz``: ``(ready, body)`` -- a 503 is a verdict, not
+        an error, so it is returned rather than raised."""
+        try:
+            status, body = self._request("GET", "/v1/readyz")
+        except ClientError as error:
+            if error.status == 503 and "checks" in error.body:
+                return False, error.body
+            raise
+        return status == 200, body
+
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/metrics")[1]
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of ``GET /v1/metrics``."""
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/metrics?format=prometheus", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ClientError(
+                f"HTTP {error.code} on GET /v1/metrics", status=error.code
+            ) from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ClientError(f"cannot reach {self.base_url}: {error}") from None
 
     # ------------------------------------------------------------------- submit
 
@@ -190,9 +232,23 @@ class VerifasClient:
             )
         )
 
-    def submit_payload(self, payload: Dict[str, Any]) -> List[JobHandle]:
-        """Submit an already-built ``POST /v1/jobs`` payload."""
-        status, body = self._request("POST", "/v1/jobs", payload)
+    def submit_payload(
+        self, payload: Dict[str, Any], traceparent: Optional[str] = None
+    ) -> List[JobHandle]:
+        """Submit an already-built ``POST /v1/jobs`` payload.
+
+        With :attr:`trace_submissions` on (the default) and no explicit
+        *traceparent*, a fresh trace context is minted and sent as the W3C
+        ``traceparent`` header: the server's spans -- and, with tracing
+        enabled there, the whole queue-wait/worker/search span tree --
+        parent under this submission.
+        """
+        headers: Dict[str, str] = {}
+        if traceparent is None and self.trace_submissions:
+            traceparent = format_traceparent(new_trace_id(), new_span_id())
+        if traceparent is not None:
+            headers["traceparent"] = traceparent
+        status, body = self._request("POST", "/v1/jobs", payload, headers=headers)
         if status != 202:
             raise ClientError(f"unexpected status {status} submitting jobs", status, body)
         return [JobHandle.from_dict(job) for job in body.get("jobs", [])]
@@ -257,6 +313,10 @@ class VerifasClient:
             )[1]
         query = urlencode(params)
         return self._request("GET", f"{self._job_path(job_id)}/events?{query}")[1]
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's span tree: ``GET /v1/jobs/<id>/trace``."""
+        return self._request("GET", f"{self._job_path(job_id)}/trace")[1]
 
     # ------------------------------------------------------------------- cancel
 

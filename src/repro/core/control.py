@@ -172,6 +172,120 @@ class RateLimitedPoll:
         return value
 
 
+class _NullPhase:
+    """Shared no-op context manager: the disabled path of the phase hooks.
+
+    Doubles as the no-op *span* yielded by an untraced ``control.span(...)``,
+    so instrumented code can call ``set_attr``/``set_error`` unconditionally.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def set_error(self, message: str, reason: Optional[str] = None) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _DisabledPhaseTimer:
+    """The default phase timer: records nothing, allocates nothing.
+
+    ``phase()`` returns a shared no-op context manager, so instrumented hot
+    loops pay one method call per hook when profiling is off -- the
+    overhead `benchmarks/bench_trace.py` pins below 2%.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+
+_NULL_TIMER = _DisabledPhaseTimer()
+
+
+class _PhaseSlot:
+    """Accumulated wall time and entry count for one named phase."""
+
+    __slots__ = ("seconds", "count", "_t0")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.count = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseSlot":
+        self._t0 = time.monotonic()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.seconds += time.monotonic() - self._t0
+        self.count += 1
+        return False
+
+
+class PhaseTimer:
+    """Cheap per-phase wall-time accumulator for the search hot loops.
+
+    ``with timer.phase("successors"): ...`` adds the elapsed monotonic time
+    to the named bucket.  One slot object is reused per phase name, so the
+    steady-state cost per hook is a dict lookup plus two ``monotonic()``
+    calls -- cheap enough for per-node (not per-instruction) placement in
+    the Karp-Miller loop.  Not thread-safe by design: one search runs on
+    one thread, and each traced run gets its own timer.
+
+    The aggregate lands in ``SearchStatistics.phase_seconds`` (the verifier
+    snapshots it at the end of a run) and, when the run is traced, in the
+    search span's ``phases`` attribute for the waterfall view.
+    """
+
+    __slots__ = ("_slots",)
+    enabled = True
+
+    def __init__(self) -> None:
+        self._slots: Dict[str, _PhaseSlot] = {}
+
+    def phase(self, name: str) -> _PhaseSlot:
+        slot = self._slots.get(name)
+        if slot is None:
+            slot = self._slots[name] = _PhaseSlot()
+        return slot
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"seconds": slot.seconds, "count": slot.count}
+            for name, slot in self._slots.items()
+            if slot.count
+        }
+
+
+class _NullTrace:
+    """The default ``trace`` collaborator: every span is the shared no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullPhase:
+        return _NULL_PHASE
+
+
+_NULL_TRACE = _NullTrace()
+
+
 @dataclass(frozen=True)
 class ProgressEvent:
     """One typed progress event emitted by a search.
@@ -242,11 +356,19 @@ class SearchControl:
         token: Optional[CancellationToken] = None,
         event_sink: Optional[EventSink] = None,
         progress_interval: int = 1000,
+        phase_timer: Optional[PhaseTimer] = None,
+        trace: Optional[Any] = None,
     ):
         self.token = token if token is not None else CancellationToken()
         self.event_sink = event_sink
         #: Emit a ``progress`` event every this many explored states.
         self.progress_interval = max(1, progress_interval)
+        #: Hot-loop profiling hooks; the defaults are shared no-op objects,
+        #: so an untraced control stays allocation-free per hook.  ``trace``
+        #: is duck-typed: anything with ``span(name, **attrs)`` returning a
+        #: context manager (``repro.obs.TraceScope`` in the traced server).
+        self.phase_timer = phase_timer if phase_timer is not None else _NULL_TIMER
+        self.trace = trace if trace is not None else _NULL_TRACE
         self._seq = itertools.count(1)
 
     def scoped(self, timeout_seconds: Optional[float]) -> "SearchControl":
@@ -265,9 +387,30 @@ class SearchControl:
             ),
             event_sink=self.event_sink,
             progress_interval=self.progress_interval,
+            phase_timer=self.phase_timer,
+            trace=self.trace,
         )
         child._seq = self._seq  # keep event seq monotonic across the pair
         return child
+
+    # --------------------------------------------------------------- profiling
+
+    def phase(self, name: str) -> Any:
+        """Context manager accumulating wall time into the named phase bucket.
+
+        Safe (and free) on an untraced control: the default timer returns a
+        shared no-op.  Meant for hot-loop placement; for spans with their
+        own start/end in the trace waterfall use :meth:`span`.
+        """
+        return self.phase_timer.phase(name)
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Context manager opening a trace span nested under the current one.
+
+        No-op (shared singleton, no allocation) unless a traced server
+        attached a ``repro.obs.TraceScope``.
+        """
+        return self.trace.span(name, **attrs)
 
     # ---------------------------------------------------------------- stopping
 

@@ -235,22 +235,30 @@ class KarpMillerSearch:
             else:
                 active_ancestors = ancestors
 
-            for move in self.product.successors(node.state):
+            # The phase hooks attribute hot-loop wall time for the trace
+            # waterfall; an untraced control makes them shared no-ops.
+            with control.phase("successor-generation"):
+                moves = list(self.product.successors(node.state))
+            for move in moves:
                 self.stats.transitions_computed += 1
-                successor = self._accelerate(move.state, active_ancestors)
+                with control.phase("acceleration"):
+                    successor = self._accelerate(move.state, active_ancestors)
 
                 if self.options.monotone_pruning:
                     covered = False
-                    for candidate_id in active_candidates_covering(successor):
-                        if self._state_covers(successor, nodes[candidate_id].state):
-                            covered = True
-                            break
+                    with control.phase("coverage-check"):
+                        for candidate_id in active_candidates_covering(successor):
+                            if self._state_covers(successor, nodes[candidate_id].state):
+                                covered = True
+                                break
                     if covered:
                         self.stats.states_pruned += 1
                         continue
                 else:
                     # Classic Karp-Miller: prune only exact duplicates anywhere in the tree.
-                    if any(existing.state == successor for existing in nodes):
+                    with control.phase("coverage-check"):
+                        duplicate = any(existing.state == successor for existing in nodes)
+                    if duplicate:
                         self.stats.states_pruned += 1
                         continue
 
@@ -260,14 +268,17 @@ class KarpMillerSearch:
                     # Deactivate every state (and its descendants) that the new
                     # state covers, unless it is an inactive ancestor of the
                     # new node (Reynier-Servais rule).
-                    for candidate_id in list(active_candidates_covered(successor)):
-                        if candidate_id == new_node.node_id:
-                            continue
-                        candidate = nodes[candidate_id]
-                        if not self._state_covers(candidate.state, successor):
-                            continue
-                        if candidate.active or not is_ancestor(candidate_id, new_node.node_id):
-                            deactivate_subtree(candidate_id)
+                    with control.phase("coverage-check"):
+                        for candidate_id in list(active_candidates_covered(successor)):
+                            if candidate_id == new_node.node_id:
+                                continue
+                            candidate = nodes[candidate_id]
+                            if not self._state_covers(candidate.state, successor):
+                                continue
+                            if candidate.active or not is_ancestor(
+                                candidate_id, new_node.node_id
+                            ):
+                                deactivate_subtree(candidate_id)
                     # The new node itself must stay active even if an ancestor
                     # subtree containing it was deactivated.
                     if not new_node.active:

@@ -168,7 +168,9 @@ class RepeatedReachabilityAnalyzer:
                 max_states=self.options.max_repeated_states,
             )
             search = KarpMillerSearch(self.product, classic_options, self.control)
-            leq_result = search.run()
+            with self.control.span("repeated.classic-search") as span:
+                leq_result = search.run()
+                span.set_attr("states_explored", search.stats.states_explored)
             self.stats.repeated_phase_states += search.stats.states_explored
             completed = leq_result.completed
 
@@ -213,8 +215,9 @@ class RepeatedReachabilityAnalyzer:
         pass -- and its ``repeated_phase_states`` counters -- stays
         proportional to the candidate cycles, not to the whole set.
         """
-        graph = self._coverage_graph(states, roots=accepting)
-        return bool(_states_on_cycles(graph) & accepting)
+        with self.control.phase("cycle-detection"):
+            graph = self._coverage_graph(states, roots=accepting)
+            return bool(_states_on_cycles(graph) & accepting)
 
     def _coverage_graph(
         self, states: Sequence[ProductState], roots: Optional[Iterable[int]] = None

@@ -43,9 +43,27 @@ class SearchStatistics:
     #: Whether the search was cooperatively cancelled (see
     #: :class:`repro.core.control.CancellationToken`).
     cancelled: bool = False
+    #: Per-phase wall-time attribution from the hot-loop ``phase(name)``
+    #: hooks (see :class:`repro.core.control.PhaseTimer`): maps a phase name
+    #: to ``{"seconds": float, "count": int}``.  Empty unless the run was
+    #: traced -- the default no-op timer records nothing.
+    phase_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
-        """A plain-dict view (used by the benchmark harness and EXPERIMENTS.md)."""
+        """A plain-dict view (used by the benchmark harness and EXPERIMENTS.md).
+
+        ``phase_seconds`` is included only when non-empty, so untraced runs
+        keep the historical shape byte-for-byte.
+        """
+        if self.phase_seconds:
+            base = self._base_dict()
+            base["phase_seconds"] = {
+                name: dict(entry) for name, entry in self.phase_seconds.items()
+            }
+            return base
+        return self._base_dict()
+
+    def _base_dict(self) -> Dict[str, float]:
         return {
             "states_explored": self.states_explored,
             "states_pruned": self.states_pruned,

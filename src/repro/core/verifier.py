@@ -135,27 +135,36 @@ class Verifier:
         if not self.system.has_task(task_name):
             raise ValueError(f"property refers to unknown task {task_name!r}")
 
-        transition_system = SymbolicTransitionSystem(
-            self.system, task_name, ltl_property, self.options
-        )
-        ltl_property.validate_against(
-            self.system.task(task_name).variable_names,
-            transition_system.observable_services,
-        )
+        with control.span("verify.setup", property=ltl_property.name, task=task_name):
+            transition_system = SymbolicTransitionSystem(
+                self.system, task_name, ltl_property, self.options
+            )
+            ltl_property.validate_against(
+                self.system.task(task_name).variable_names,
+                transition_system.observable_services,
+            )
 
-        # The verifier searches for runs of the *negated* property.
-        negated = ltl_property.formula.negated()
-        automaton = ltl_to_buchi(negated, extra_propositions=transition_system.observable_services)
+            # The verifier searches for runs of the *negated* property.
+            negated = ltl_property.formula.negated()
+            automaton = ltl_to_buchi(
+                negated, extra_propositions=transition_system.observable_services
+            )
 
-        product = ProductSystem(transition_system, automaton, ltl_property)
+            product = ProductSystem(transition_system, automaton, ltl_property)
         control.emit_phase("search", property=ltl_property.name, task=task_name)
         search = KarpMillerSearch(product, self.options, control)
-        result = search.run()
+        with control.span("verify.search") as search_span:
+            result = search.run()
+            search_span.set_attr("states_explored", search.stats.states_explored)
+            search_span.set_attr("phases", control.phase_timer.snapshot())
         stats = search.stats
         stats.constraints_dropped = transition_system.constraint_filter.dropped_edge_count
 
-        outcome, counterexample = self._verdict(product, result, stats, control)
+        with control.span("verify.verdict"):
+            outcome, counterexample = self._verdict(product, result, stats, control)
         stats.total_seconds = time.monotonic() - started
+        if control.phase_timer.enabled:
+            stats.phase_seconds = control.phase_timer.snapshot()
         control.emit("stats", **stats.as_dict())
         control.emit("done", outcome=outcome.value)
         return VerificationResult(
@@ -199,7 +208,8 @@ class Verifier:
             return VerificationOutcome.SATISFIED, None
 
         analyzer = RepeatedReachabilityAnalyzer(product, self.options, stats, control)
-        repeated = analyzer.analyse(result)
+        with control.span("verify.repeated", accepting=len(accepting_nodes)):
+            repeated = analyzer.analyse(result)
         if repeated.found_violation:
             node_id = min(repeated.repeated_node_ids)
             witness = repeated.witnesses.get(node_id, "cycle")

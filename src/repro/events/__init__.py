@@ -13,6 +13,7 @@ from repro.events.manager import (
     LogSink,
     MetricsSink,
     StoreSink,
+    TraceSink,
 )
 from repro.events.types import (
     DEBUG,
@@ -29,6 +30,7 @@ from repro.events.types import (
     JobSubmitted,
     RecoveryCompleted,
     SearchEvent,
+    SpanRecorded,
     StaleJobsRequeued,
     SweepCompleted,
     SweeperLeaseMiss,
@@ -56,10 +58,12 @@ __all__ = [
     "MetricsSink",
     "RecoveryCompleted",
     "SearchEvent",
+    "SpanRecorded",
     "StaleJobsRequeued",
     "StoreSink",
     "SweepCompleted",
     "SweeperLeaseMiss",
+    "TraceSink",
     "VerificationStarted",
     "WorkerCrashed",
     "WorkerRecycled",

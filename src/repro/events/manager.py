@@ -33,7 +33,14 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO
 
 from repro.core.control import ProgressEvent
-from repro.events.types import INFO, LEVEL_ORDER, Event, JobCompleted, SearchEvent
+from repro.events.types import (
+    INFO,
+    LEVEL_ORDER,
+    Event,
+    JobCompleted,
+    SearchEvent,
+    SpanRecorded,
+)
 
 #: Anything callable with a single event, or an object with ``handle(event)``.
 Sink = Any
@@ -72,13 +79,23 @@ class EventManager:
             except Exception:
                 pass
 
-    def progress_sink(self, job_id: str) -> Callable[[ProgressEvent], None]:
+    def progress_sink(
+        self, job_id: str, trace_id: Optional[str] = None
+    ) -> Callable[[ProgressEvent], None]:
         """An ``EventSink`` for ``SearchControl`` that puts the search's
-        :class:`ProgressEvent` stream onto this bus as :class:`SearchEvent`s."""
+        :class:`ProgressEvent` stream onto this bus as :class:`SearchEvent`s.
+
+        ``trace_id`` stamps each forwarded event for trace correlation when
+        the job runs under a distributed trace."""
 
         def forward(event: ProgressEvent) -> None:
             self.fire(
-                SearchEvent(job_id=job_id, data=dict(event.data), kind=event.kind)
+                SearchEvent(
+                    job_id=job_id,
+                    data=dict(event.data),
+                    kind=event.kind,
+                    trace_id=trace_id,
+                )
             )
 
         return forward
@@ -100,7 +117,9 @@ class StoreSink:
     def handle(self, event: Event) -> None:
         if not event.durable or event.job_id is None:
             return
-        payload = {"data": dict(event.data)}
+        payload: Dict[str, Any] = {"data": dict(event.data)}
+        if event.trace_id is not None:
+            payload["trace_id"] = event.trace_id
         try:
             self._store.append_event(
                 event.job_id,
@@ -111,6 +130,29 @@ class StoreSink:
         except sqlite3.OperationalError:
             if not event.lossy:
                 raise
+
+
+class TraceSink:
+    """Persists finished trace spans into the store's ``spans`` table.
+
+    Listens for :class:`SpanRecorded` events on the bus (everything else is
+    ignored), so span persistence reuses the bus's fan-out, error isolation
+    and metrics accounting instead of a private channel.  Spans are few per
+    job (roughly one per hop and search phase) and ``INSERT OR REPLACE``
+    makes replays idempotent, so the default (blocking) store timeout is
+    fine here -- unlike the lossy progress-heartbeat path.
+    """
+
+    def __init__(self, store: Any):
+        self._store = store
+
+    def handle(self, event: Event) -> None:
+        if not isinstance(event, SpanRecorded):
+            return
+        span = dict(event.data)
+        if event.job_id is not None and span.get("job_id") is None:
+            span["job_id"] = event.job_id
+        self._store.append_span(span)
 
 
 class MetricsSink:

@@ -52,6 +52,11 @@ class Event:
     job_id: Optional[str] = None
     data: Dict[str, Any] = field(default_factory=dict)
     timestamp: float = field(default_factory=time.time)
+    #: Distributed-trace correlation (see :mod:`repro.obs`): set when the
+    #: emitting code ran on behalf of a traced job, and written into the
+    #: durable log payload so ``/events`` entries can be joined with the
+    #: ``/trace`` span tree.
+    trace_id: Optional[str] = None
 
     name: ClassVar[str] = "event"
     level: ClassVar[str] = INFO
@@ -233,3 +238,20 @@ class RecoveryCompleted(Event):
     """Startup recovery repaired the store (``data``: the recovery report)."""
 
     name: ClassVar[str] = "recovery-completed"
+
+
+# -------------------------------------------------------------- trace events
+
+
+@dataclass(frozen=True)
+class SpanRecorded(Event):
+    """A trace span finished (``data`` is its ``Span.as_dict()`` form).
+
+    Not durable in the per-job *event* log -- spans have their own store
+    table, written by :class:`~repro.events.manager.TraceSink`; the counter
+    keeps ``/metrics`` aware of span volume.
+    """
+
+    name: ClassVar[str] = "span-recorded"
+    level: ClassVar[str] = DEBUG
+    counter: ClassVar[Optional[str]] = "spans_recorded"

@@ -1,0 +1,32 @@
+"""``repro.obs`` -- stdlib-only tracing and profiling.
+
+Spans flow client → HTTP handler → store → worker → Karp-Miller search and
+persist in the job store's ``spans`` table; ``python -m repro trace``
+renders the resulting tree as an ASCII waterfall.  See ``trace.py`` for
+the primitives and ``render.py`` for the presentation layer.
+"""
+
+from repro.obs.render import build_tree, render_trace
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    TraceScope,
+    Tracer,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "TraceScope",
+    "Tracer",
+    "build_tree",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "render_trace",
+]

@@ -1,0 +1,178 @@
+"""ASCII waterfall rendering for span trees (``python -m repro trace``).
+
+Pure functions over the ``GET /v1/jobs/<id>/trace`` payload so the renderer
+is unit-testable without a server.  The waterfall shows each span as a bar
+positioned and scaled against the whole trace, indented by tree depth;
+spans carrying a ``phases`` attribute (the hot-loop aggregates from
+``SearchStatistics.phase_seconds``) get a per-phase breakdown underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["build_tree", "render_trace"]
+
+_REMOTE_NAME = "client (remote)"
+
+
+def build_tree(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Arrange flat span dicts into a forest of ``{"span", "children"}`` nodes.
+
+    Spans whose ``parent_id`` is not in the set (e.g. the client's own span,
+    never reported to the server) are grouped under a synthesised remote
+    placeholder so the tree still shows where the trace began.
+    """
+    by_id: Dict[str, Dict[str, Any]] = {}
+    nodes: List[Dict[str, Any]] = []
+    for span in spans:
+        node = {"span": span, "children": []}
+        nodes.append(node)
+        span_id = span.get("span_id")
+        if span_id:
+            by_id[span_id] = node
+
+    roots: List[Dict[str, Any]] = []
+    virtual: Dict[str, Dict[str, Any]] = {}
+    for node in nodes:
+        parent_id = node["span"].get("parent_id")
+        if parent_id and parent_id in by_id:
+            by_id[parent_id]["children"].append(node)
+        elif parent_id:
+            placeholder = virtual.get(parent_id)
+            if placeholder is None:
+                placeholder = {
+                    "span": {
+                        "span_id": parent_id,
+                        "parent_id": None,
+                        "name": _REMOTE_NAME,
+                        "start_time": node["span"].get("start_time", 0.0),
+                        "duration": 0.0,
+                        "status": "ok",
+                        "attrs": {"remote": True},
+                    },
+                    "children": [],
+                }
+                virtual[parent_id] = placeholder
+                roots.append(placeholder)
+            placeholder["children"].append(node)
+        else:
+            roots.append(node)
+
+    def _sort(forest: List[Dict[str, Any]]) -> None:
+        forest.sort(key=lambda n: (n["span"].get("start_time", 0.0)))
+        for entry in forest:
+            _sort(entry["children"])
+            if entry["span"].get("name") == _REMOTE_NAME:
+                # Stretch the placeholder over its children for the bar.
+                starts = [c["span"].get("start_time", 0.0) for c in entry["children"]]
+                ends = [
+                    c["span"].get("start_time", 0.0) + (c["span"].get("duration") or 0.0)
+                    for c in entry["children"]
+                ]
+                if starts:
+                    entry["span"]["start_time"] = min(starts)
+                    entry["span"]["duration"] = max(ends) - min(starts)
+
+    _sort(roots)
+    return roots
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _bar(start: float, duration: float, t0: float, extent: float, width: int) -> str:
+    if extent <= 0.0:
+        return "▐" + "█" * 1 + "▌"
+    left = int(round((start - t0) / extent * width))
+    length = max(1, int(round(duration / extent * width)))
+    left = min(left, width - 1)
+    length = min(length, width - left)
+    return " " * left + "█" * length
+
+
+def render_trace(view: Dict[str, Any], width: int = 100) -> str:
+    """Render the trace view as an indented ASCII waterfall."""
+    spans = view.get("spans") or []
+    header = (
+        f"trace {view.get('trace_id') or '<none>'}"
+        f"  job {view.get('id') or '?'}"
+        f"  status={view.get('status') or '?'}"
+        f"  spans={len(spans)}"
+    )
+    if not spans:
+        return header + "\n  (no spans recorded -- was the server started with tracing on?)"
+
+    roots = build_tree(spans)
+    t0 = min(s.get("start_time", 0.0) for s in spans)
+    t1 = max(s.get("start_time", 0.0) + (s.get("duration") or 0.0) for s in spans)
+    extent = t1 - t0
+
+    label_rows: List[tuple] = []
+
+    def _walk(node: Dict[str, Any], depth: int) -> None:
+        span = node["span"]
+        marker = " !" if span.get("status") != "ok" else ""
+        label = "  " * depth + span.get("name", "?") + marker
+        label_rows.append((label, span, depth))
+        for child in node["children"]:
+            _walk(child, depth + 1)
+
+    for root in roots:
+        _walk(root, 0)
+
+    label_width = max(len(label) for label, _, _ in label_rows)
+    bar_width = max(20, width - label_width - 14)
+
+    lines = [header, ""]
+    for label, span, depth in label_rows:
+        duration = span.get("duration") or 0.0
+        bar = _bar(span.get("start_time", 0.0), duration, t0, extent, bar_width)
+        dur_text = "" if span.get("attrs", {}).get("remote") else _fmt_seconds(duration)
+        lines.append(f"{label:<{label_width}}  {bar:<{bar_width}}  {dur_text}")
+        reason = _failure_note(span)
+        if reason:
+            lines.append("  " * depth + f"  ↳ {reason}")
+        phases = span.get("attrs", {}).get("phases")
+        if isinstance(phases, dict) and phases:
+            lines.extend(_phase_lines(phases, depth + 1, label_width, duration))
+    return "\n".join(lines)
+
+
+def _failure_note(span: Dict[str, Any]) -> Optional[str]:
+    if span.get("status") == "ok":
+        return None
+    attrs = span.get("attrs", {})
+    detail = attrs.get("reason") or attrs.get("error") or span.get("status")
+    return f"status={span.get('status')}: {detail}"
+
+
+def _phase_lines(
+    phases: Dict[str, Any], depth: int, label_width: int, parent_duration: float
+) -> List[str]:
+    """Flamegraph-style cumulative breakdown of hot-loop phase aggregates."""
+    lines: List[str] = []
+    total = parent_duration or sum(
+        entry.get("seconds", 0.0) for entry in phases.values() if isinstance(entry, dict)
+    )
+    for name in sorted(
+        phases, key=lambda n: -(phases[n].get("seconds", 0.0) if isinstance(phases[n], dict) else 0.0)
+    ):
+        entry = phases[name]
+        if not isinstance(entry, dict):
+            continue
+        seconds = entry.get("seconds", 0.0)
+        count = entry.get("count", 0)
+        share = (seconds / total * 100.0) if total > 0 else 0.0
+        ticks = max(1, int(round(share / 5.0))) if seconds > 0 else 0
+        label = "  " * depth + f"· {name}"
+        lines.append(
+            f"{label:<{label_width}}  {'▒' * ticks:<20}  "
+            f"{_fmt_seconds(seconds)} ({share:.0f}%, {count}×)"
+        )
+    return lines

@@ -49,7 +49,12 @@ import uuid
 from http.server import ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.core.control import CancellationToken, RateLimitedPoll, SearchControl
+from repro.core.control import (
+    CancellationToken,
+    PhaseTimer,
+    RateLimitedPoll,
+    SearchControl,
+)
 from repro.core.options import VerifierOptions
 from repro.core.verifier import VerificationResult, Verifier
 from repro.events import (
@@ -63,11 +68,21 @@ from repro.events import (
     JobSubmitted,
     LogSink,
     MetricsSink,
+    SpanRecorded,
     StaleJobsRequeued,
     StoreSink,
     SweepCompleted,
     SweeperLeaseMiss,
+    TraceSink,
     VerificationStarted,
+)
+from repro.obs import (
+    Span,
+    TraceContext,
+    TraceScope,
+    Tracer,
+    build_tree,
+    new_trace_id,
 )
 from repro.server.handlers import ApiHandler
 from repro.server.metrics import ServerMetrics
@@ -125,6 +140,7 @@ class VerificationServer:
         long_poll_max_ms: int = 30_000,
         push_fallback_interval: float = 0.5,
         event_log_stream: Optional[Any] = None,
+        trace_enabled: Optional[bool] = None,
     ):
         if worker_model not in ("thread", "process"):
             raise ValueError(
@@ -236,8 +252,22 @@ class VerificationServer:
             )
         )
         self.events.add_sink(MetricsSink(self.metrics))
+        self.events.add_sink(TraceSink(self.store))
         if event_log_stream is not None:
             self.events.add_sink(LogSink(event_log_stream))
+        if trace_enabled is None:
+            trace_enabled = os.environ.get("REPRO_TRACE", "").strip().lower() not in (
+                "", "0", "false", "no",
+            )
+        #: Whether this server records distributed-trace spans (see
+        #: :mod:`repro.obs`).  Default comes from ``REPRO_TRACE``; when off,
+        #: the tracer hands out a shared no-op span and the instrumented
+        #: paths cost one attribute check each (``benchmarks/bench_trace.py``
+        #: pins the overhead).  Incoming ``traceparent`` headers still land
+        #: on the job row either way, so a traced *client* can correlate
+        #: ``/events`` entries even against an untraced server.
+        self.trace_enabled = bool(trace_enabled)
+        self.tracer = Tracer(enabled=self.trace_enabled, exporter=self._export_span)
         # In shared-store mode, startup recovery spares own-prefix claims
         # whose heartbeats are still fresh: a rolling restart overlaps with
         # the old same-id instance draining (and heartbeating) its last
@@ -276,6 +306,17 @@ class VerificationServer:
         # heartbeat to go stale and the job to be rescued.  (Process-model
         # agents heartbeat from their own drain loops instead.)
         self._inflight: Dict[str, str] = {}
+        #: Monotonic stamp of the sweeper loop's last completed pass (lease
+        #: misses count: the loop is alive either way); ``/readyz`` flags a
+        #: wedged sweeper through its age.
+        self._last_sweep_tick: Optional[float] = None
+
+    def _export_span(self, span: Span) -> None:
+        """The tracer's exporter: finished spans ride the event bus to the
+        :class:`~repro.events.TraceSink` (and the span counter)."""
+        self.events.fire(
+            SpanRecorded(job_id=span.job_id, data=span.as_dict(), trace_id=span.trace_id)
+        )
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -471,8 +512,43 @@ class VerificationServer:
                 )
             )
 
+    def _start_job_spans(
+        self, stored: StoredJob, worker_id: Optional[str]
+    ) -> Optional[Span]:
+        """Record the job's ``queue.wait`` span and open ``worker.execute``.
+
+        Returns the open execute span (``None`` when tracing is off or the
+        job carries no trace).  The queue wait happened before any traced
+        code ran, so it is recorded retroactively from the store's
+        ``submitted_at``/``started_at`` stamps.
+        """
+        if not self.tracer.enabled or stored.trace_id is None:
+            return None
+        claimed_at = stored.started_at if stored.started_at is not None else time.time()
+        self.tracer.record_span(
+            "queue.wait",
+            trace_id=stored.trace_id,
+            parent_id=stored.parent_span,
+            start_time=stored.submitted_at,
+            duration=claimed_at - stored.submitted_at,
+            job_id=stored.id,
+        )
+        parent = (
+            TraceContext(stored.trace_id, stored.parent_span)
+            if stored.parent_span
+            else None
+        )
+        return self.tracer.start_span(
+            "worker.execute",
+            parent=parent,
+            trace_id=stored.trace_id,
+            job_id=stored.id,
+            worker_id=worker_id,
+        )
+
     def _process(self, stored: StoredJob, worker_id: Optional[str] = None) -> None:
         started = time.monotonic()
+        execute_span = self._start_job_spans(stored, worker_id)
         # The token's external backend re-polls the store's persisted
         # cancel_requested flag (rate-limited -- it is a SQL read), so a
         # DELETE accepted by *another server* sharing the store stops this
@@ -496,25 +572,37 @@ class VerificationServer:
                 token.cancel()
             try:
                 result, cache_hit, deadline_truncated = self._execute(
-                    stored, token, deadline_ms_binding(stored)
+                    stored, token, deadline_ms_binding(stored), execute_span
                 )
             except Exception as error:
                 message = f"{type(error).__name__}: {error}"
+                if execute_span is not None:
+                    execute_span.set_error(message)
                 if self.store.mark_error(stored.id, message, worker_id=worker_id):
                     self.events.fire(
                         JobFailed(job_id=stored.id, data={"error": message})
                     )
                 return
+            if execute_span is not None:
+                execute_span.set_attr("cache_hit", cache_hit)
+                if result.stats.cancelled:
+                    execute_span.set_error("search cancelled", reason="cancelled")
             self._finalize_result(
                 stored, result, cache_hit, deadline_truncated, started, owner=worker_id
             )
         finally:
+            if execute_span is not None:
+                self.tracer.finish(execute_span)
             self._unregister_canceller(stored.id)
             with self._cancel_lock:
                 self._inflight.pop(stored.id, None)
 
     def _execute(
-        self, stored: StoredJob, token: CancellationToken, deadline_binding: bool
+        self,
+        stored: StoredJob,
+        token: CancellationToken,
+        deadline_binding: bool,
+        execute_span: Optional[Span] = None,
     ) -> Tuple[VerificationResult, bool, bool]:
         """Run one claimed job: cache lookup, then a cancellable search.
 
@@ -538,10 +626,21 @@ class VerificationServer:
             )
             return cached, True, False
         self.events.fire(VerificationStarted(job_id=stored.id))
+        traced: Dict[str, Any] = {}
+        if execute_span is not None:
+            # Per-phase hot-loop attribution plus nested verify.* spans,
+            # parented under this worker's execute span.
+            traced = {
+                "phase_timer": PhaseTimer(),
+                "trace": TraceScope(
+                    self.tracer, parent=execute_span.context(), job_id=stored.id
+                ),
+            }
         control = SearchControl(
             token=token,
-            event_sink=self.events.progress_sink(stored.id),
+            event_sink=self.events.progress_sink(stored.id, trace_id=stored.trace_id),
             progress_interval=self.progress_interval,
+            **traced,
         )
         result = Verifier(job.system(), job.options()).verify(job.ltl_property(), control)
         # Results truncated by job-level limits that are NOT part of the
@@ -567,6 +666,9 @@ class VerificationServer:
         # repairs are atomic and idempotent; the lease is an optimisation.)
         lease_ttl = max(3.0 * self.sweep_interval, 1.0)
         while not self._stop_event.wait(timeout=self.sweep_interval):
+            # Freshness stamp for /readyz: the loop is alive (lease misses
+            # included -- a peer sweeping for us is a healthy state).
+            self._last_sweep_tick = time.monotonic()
             try:
                 if not self.store.acquire_lease(
                     "sweeper", self._lease_owner, lease_ttl
@@ -629,7 +731,13 @@ class VerificationServer:
 
     # -------------------------------------------------------------------- views
 
-    def submit_payload(self, payload: Any, url_prefix: str = "/v1/jobs") -> Dict[str, Any]:
+    def submit_payload(
+        self,
+        payload: Any,
+        url_prefix: str = "/v1/jobs",
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Validate a ``POST /v1/jobs`` payload and enqueue one job per property.
 
         The payload mirrors the spec-bundle document format (same
@@ -639,6 +747,12 @@ class VerificationServer:
         finishes) and ``deadline_ms`` (bound the search's wall-clock run
         time).  Inputs are canonicalised through the spec codecs, so
         fingerprints match jobs built anywhere else (CLI, Python API).
+
+        ``trace_id``/``parent_span`` put the accepted jobs into a
+        distributed trace (the HTTP handler passes the ``http.submit``
+        span's context; every property of one POST shares it).  With
+        tracing on and no incoming context, a fresh root trace is minted so
+        programmatic submissions trace too.
         """
         if not isinstance(payload, Mapping):
             raise SpecError(
@@ -706,27 +820,37 @@ class VerificationServer:
             )
             for property_data in property_list
         ]
+        if trace_id is None and self.tracer.enabled:
+            trace_id = new_trace_id()
         accepted = []
         for job in jobs:
             stored = self.store.submit(
-                job, label=label, ttl_seconds=ttl_seconds, deadline_ms=deadline_ms
+                job,
+                label=label,
+                ttl_seconds=ttl_seconds,
+                deadline_ms=deadline_ms,
+                trace_id=trace_id,
+                parent_span=parent_span,
             )
             self.events.fire(
                 JobSubmitted(
-                    job_id=stored.id, data={"fingerprint": stored.fingerprint}
+                    job_id=stored.id,
+                    data={"fingerprint": stored.fingerprint},
+                    trace_id=trace_id,
                 )
             )
-            accepted.append(
-                {
-                    "id": stored.id,
-                    "fingerprint": stored.fingerprint,
-                    "system": stored.system_name,
-                    "property": stored.property_name,
-                    "status": stored.status,
-                    "url": f"{url_prefix}/{stored.id}",
-                    "events_url": f"{url_prefix}/{stored.id}/events",
-                }
-            )
+            entry = {
+                "id": stored.id,
+                "fingerprint": stored.fingerprint,
+                "system": stored.system_name,
+                "property": stored.property_name,
+                "status": stored.status,
+                "url": f"{url_prefix}/{stored.id}",
+                "events_url": f"{url_prefix}/{stored.id}/events",
+            }
+            if trace_id is not None:
+                entry["trace_id"] = trace_id
+            accepted.append(entry)
         self._wakeup.set()
         return {"jobs": accepted}
 
@@ -882,6 +1006,105 @@ class VerificationServer:
             "recovery": self.recovery.as_dict(),
             "workers": self.workers_view(),
             "store_path": self.store.path,
+        }
+
+    def trace_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The ``GET /v1/jobs/<id>/trace`` body: the job's full span tree.
+
+        The trace is keyed by the *trace id* on the job row, so it includes
+        spans recorded by other parties -- the submitting server's
+        ``http.submit``, a peer server's ``worker.execute`` in a
+        shared-store deployment -- not just this process's.  An untraced
+        job returns an empty span list (200, not 404: the job exists).
+        """
+        stored = self.store.get_job(job_id)
+        if stored is None:
+            return None
+        self.metrics.increment("trace_requests")
+        spans = (
+            self.store.spans_for_trace(stored.trace_id)
+            if stored.trace_id is not None
+            else []
+        )
+        return {
+            "id": job_id,
+            "status": stored.status,
+            "trace_id": stored.trace_id,
+            "spans": spans,
+            "tree": build_tree(spans),
+        }
+
+    def health_view(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` body: pure liveness (we answered = alive)."""
+        return {
+            "status": "ok",
+            "server_id": self.server_id,
+            "uptime_seconds": self.metrics.uptime_seconds(),
+        }
+
+    def readiness_view(self) -> Tuple[bool, Dict[str, Any]]:
+        """The ``GET /readyz`` decision: can this server do useful work *now*?
+
+        Three checks, each reported individually so an operator sees what
+        tripped: the store accepts a (fail-fast) write, at least one worker
+        slot is alive (when any were configured), and the sweeper loop
+        ticked recently (lease misses count as ticks -- a peer holding the
+        lease is healthy).  Any failing check flips the endpoint to 503.
+        """
+        store_ok = self.store.ping()
+        checks: Dict[str, Any] = {
+            "store": {"ok": store_ok, "path": self.store.path},
+        }
+
+        if self.workers <= 0:
+            workers_alive, workers_total = 0, 0
+            workers_ok = True  # an API-only server is ready without workers
+        elif self.worker_model == "process" and self._agents:
+            workers_alive, workers_total = pool_snapshot(self._agents)
+            workers_ok = workers_alive > 0
+        else:
+            workers_total = len(self._worker_threads)
+            workers_alive = sum(
+                1 for thread in self._worker_threads if thread.is_alive()
+            )
+            workers_ok = workers_alive > 0
+        checks["workers"] = {
+            "ok": workers_ok,
+            "model": self.worker_model,
+            "alive": workers_alive,
+            "total": workers_total,
+        }
+
+        thread_alive = (
+            self._sweeper_thread is not None and self._sweeper_thread.is_alive()
+        )
+        tick_age = (
+            time.monotonic() - self._last_sweep_tick
+            if self._last_sweep_tick is not None
+            else None
+        )
+        # No tick yet is fine right after start (the first pass lands one
+        # sweep_interval in); after that, a tick older than a few intervals
+        # means the loop is wedged on a store write.
+        sweeper_ok = thread_alive and (
+            tick_age is None or tick_age < max(5.0 * self.sweep_interval, 5.0)
+        )
+        try:
+            lease_holder = self.store.lease_holder("sweeper")
+        except Exception:
+            lease_holder = None
+        checks["sweeper"] = {
+            "ok": sweeper_ok,
+            "thread_alive": thread_alive,
+            "last_tick_age_seconds": tick_age,
+            "lease_holder": lease_holder,
+        }
+
+        ready = store_ok and workers_ok and sweeper_ok
+        return ready, {
+            "status": "ready" if ready else "unready",
+            "server_id": self.server_id,
+            "checks": checks,
         }
 
     def workers_view(self) -> Dict[str, Any]:

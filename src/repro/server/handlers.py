@@ -20,12 +20,24 @@ The API is JSON in, JSON out, versioned under ``/v1``:
                                   ``Accept: text/event-stream`` it streams
                                   Server-Sent Events (``Last-Event-ID``
                                   resumes a broken stream)
+``GET /v1/jobs/<id>/trace``       the job's distributed-trace span tree
+                                  (client submit -> HTTP handler -> queue wait
+                                  -> worker -> search phases)
 ``DELETE /v1/jobs/<id>``          cooperative cancellation of a queued or
                                   running job
 ``GET /v1/metrics``               cache hit rates, queue depth, latency
-                                  percentiles
-``GET /v1/healthz``               liveness probe
+                                  percentiles; with ``Accept: text/plain``
+                                  (or ``?format=prometheus``) the same data
+                                  in Prometheus text exposition 0.0.4
+``GET /v1/healthz``               liveness probe (always 200 while serving)
+``GET /v1/readyz``                readiness probe: 200 when the store accepts
+                                  writes, workers are alive and the sweeper
+                                  ticks; 503 otherwise
 ================================  =============================================
+
+``POST /v1/jobs`` honours an incoming W3C ``traceparent`` header: the
+accepted jobs join the caller's distributed trace (malformed headers start a
+fresh trace, per spec -- never an error).
 
 The original unversioned routes (``/jobs``, ``/metrics``, ``/healthz``, ...)
 remain as thin shims over the same views: they answer identically but carry a
@@ -49,6 +61,8 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote
 
 from repro.has.artifact_system import SpecificationError
+from repro.obs import parse_traceparent
+from repro.server.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.spec.errors import SpecError
 
 #: The current (only) API version prefix.
@@ -56,6 +70,7 @@ API_PREFIX = "/v1"
 
 _JOB_PATH = re.compile(r"^/jobs/([^/]+)$")
 _EVENTS_PATH = re.compile(r"^/jobs/([^/]+)/events$")
+_TRACE_PATH = re.compile(r"^/jobs/([^/]+)/trace$")
 
 #: Largest accepted request body (spec payloads are text; 16 MiB is generous).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -89,9 +104,12 @@ class ApiHandler(BaseHTTPRequestHandler):
         route, self._deprecated = self._route(path)
         try:
             if route == "/healthz":
-                return self._send(200, {"status": "ok"})
+                return self._send(200, self.app.health_view())
+            if route == "/readyz":
+                ready, view = self.app.readiness_view()
+                return self._send(200 if ready else 503, view)
             if route == "/metrics":
-                return self._send(200, self.app.metrics_view())
+                return self._metrics(parse_qs(query))
             if route == "/jobs":
                 return self._list_jobs(parse_qs(query))
             match = _EVENTS_PATH.match(route)
@@ -99,6 +117,13 @@ class ApiHandler(BaseHTTPRequestHandler):
                 # Clients percent-escape ids as single path segments; undo it
                 # so an escaped id resolves to the job it names.
                 return self._job_events(unquote(match.group(1)), parse_qs(query))
+            match = _TRACE_PATH.match(route)
+            if match:
+                job_id = unquote(match.group(1))
+                view = self.app.trace_view(job_id)
+                if view is None:
+                    return self._send(404, {"error": f"no job with id {job_id!r}"})
+                return self._send(200, view)
             match = _JOB_PATH.match(route)
             if match:
                 job_id = unquote(match.group(1))
@@ -124,18 +149,47 @@ class ApiHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             return self._send(404, {"error": f"unknown path {path!r}"})
         url_prefix = "/jobs" if self._deprecated else f"{API_PREFIX}/jobs"
+        # A missing or malformed traceparent header is never an error: it
+        # simply starts a fresh trace at this server (the W3C behaviour).
+        incoming = parse_traceparent(self.headers.get("traceparent"))
+        tracer = self.app.tracer
+        span = tracer.start_span("http.submit", parent=incoming, route=url_prefix)
+        context = span.context()
+        if context is not None:
+            # Tracing on: jobs parent under this handler's span.
+            trace_id, parent_span = context.trace_id, context.span_id
+        elif incoming is not None:
+            # Tracing off but the caller sent context: record it on the job
+            # rows anyway, so the client's trace can correlate /events.
+            trace_id, parent_span = incoming.trace_id, incoming.span_id
+        else:
+            trace_id = parent_span = None
         try:
-            payload = self._read_json_body()
-            response = self.app.submit_payload(payload, url_prefix=url_prefix)
-        except _BadRequest as error:
-            return self._send(400, {"error": str(error)})
-        except (SpecError, SpecificationError, ValueError, TypeError, KeyError) as error:
-            return self._send(400, {"error": f"invalid job payload: {error}"})
-        except sqlite3.ProgrammingError:  # pragma: no cover - shutdown race
-            return self._send(503, {"error": "server is shutting down"})
-        except Exception as error:  # pragma: no cover - defensive catch-all
-            return self._send(500, {"error": f"{type(error).__name__}: {error}"})
-        self._send(202, response)
+            try:
+                payload = self._read_json_body()
+                response = self.app.submit_payload(
+                    payload,
+                    url_prefix=url_prefix,
+                    trace_id=trace_id,
+                    parent_span=parent_span,
+                )
+            except _BadRequest as error:
+                span.set_error(str(error))
+                return self._send(400, {"error": str(error)})
+            except (
+                SpecError, SpecificationError, ValueError, TypeError, KeyError
+            ) as error:
+                span.set_error(f"invalid job payload: {error}")
+                return self._send(400, {"error": f"invalid job payload: {error}"})
+            except sqlite3.ProgrammingError:  # pragma: no cover - shutdown race
+                return self._send(503, {"error": "server is shutting down"})
+            except Exception as error:  # pragma: no cover - defensive catch-all
+                span.set_error(f"{type(error).__name__}: {error}")
+                return self._send(500, {"error": f"{type(error).__name__}: {error}"})
+            span.set_attr("jobs", len(response["jobs"]))
+            self._send(202, response)
+        finally:
+            tracer.finish(span)
 
     def do_DELETE(self) -> None:  # noqa: N802
         self.app.metrics.increment("requests")
@@ -163,6 +217,24 @@ class ApiHandler(BaseHTTPRequestHandler):
             self._send(500, {"error": f"{type(error).__name__}: {error}"})
 
     # ----------------------------------------------------------------- helpers
+
+    def _metrics(self, params: Dict[str, list]) -> None:
+        """``GET /metrics`` with content negotiation.
+
+        JSON stays the default (existing dashboards and tests parse it);
+        Prometheus text exposition is served when the scraper asks for it --
+        by ``Accept`` (prometheus sends ``text/plain; version=0.0.4``) or
+        explicitly via ``?format=prometheus`` (handy with curl).
+        ``?format=json`` forces JSON even under a text/plain Accept.
+        """
+        requested = params.get("format", [""])[0]
+        accept = self.headers.get("Accept", "") or ""
+        view = self.app.metrics_view()
+        if requested == "prometheus" or (
+            requested != "json" and "text/plain" in accept
+        ):
+            return self._send_text(200, render_prometheus(view), PROMETHEUS_CONTENT_TYPE)
+        self._send(200, view)
 
     def _list_jobs(self, params: Dict[str, list]) -> None:
         status = params.get("status", [None])[0]
@@ -307,9 +379,16 @@ class ApiHandler(BaseHTTPRequestHandler):
             raise _BadRequest(f"malformed JSON body: {error}") from None
 
     def _send(self, code: int, payload: Any) -> None:
-        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self._send_bytes(
+            code, json.dumps(payload, indent=2).encode("utf-8") + b"\n", "application/json"
+        )
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        self._send_bytes(code, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, code: int, body: bytes, content_type: str) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if getattr(self, "_deprecated", False):
             # Legacy unversioned route: same behaviour, plus a deprecation

@@ -11,7 +11,7 @@ import math
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Mapping, Optional
 
 
 class LatencyTracker:
@@ -141,10 +141,19 @@ class ServerMetrics:
             "events_emitted": 0,
             "long_poll_requests": 0,
             "sse_requests": 0,
+            # Observability: spans the TraceSink persisted, /trace reads.
+            "spans_recorded": 0,
+            "trace_requests": 0,
         }
         self.job_latency = LatencyTracker()
         self.worker_gauges = WorkerGauges()
+        #: Wall-clock start stamp, for display only.  Uptime arithmetic uses
+        #: the monotonic anchor below: ``time.time() - started_at`` goes
+        #: negative (or jumps) when NTP steps the wall clock, the same
+        #: failure mode the store clock guards against (see
+        #: ``JobStore._now``).
         self.started_at = time.time()
+        self._mono_started = time.monotonic()
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -158,10 +167,127 @@ class ServerMetrics:
         with self._lock:
             return dict(self._counters)
 
+    def uptime_seconds(self) -> float:
+        """Seconds since construction, immune to wall-clock steps."""
+        return time.monotonic() - self._mono_started
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "server_id": self.server_id,
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": self.uptime_seconds(),
             "counters": self.counters(),
             "job_latency": self.job_latency.snapshot(),
         }
+
+
+# ---------------------------------------------------------------- prometheus
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _number(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(view: Mapping[str, Any]) -> str:
+    """Render a ``metrics_view()`` dict in Prometheus text exposition 0.0.4.
+
+    Served when ``GET /v1/metrics`` negotiates ``text/plain`` (or is asked
+    via ``?format=prometheus``); the JSON view stays the default.  Counters
+    become ``repro_<name>_total``, the latency snapshot a summary with
+    nearest-rank quantiles, per-worker gauges get a ``worker_id`` label.
+    All metrics are per-server (scrape every server of a shared-store
+    deployment; ``repro_server_info``'s ``server_id`` label attributes
+    them).
+    """
+    lines: List[str] = []
+
+    def emit(name: str, value: Any, help_text: str, kind: str, labels: str = "") -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {_number(value)}")
+
+    server_id = view.get("server_id")
+    lines.append("# HELP repro_server_info Static server identity (value is always 1).")
+    lines.append("# TYPE repro_server_info gauge")
+    lines.append(
+        f'repro_server_info{{server_id="{_escape_label(server_id or "")}"}} 1'
+    )
+    emit(
+        "repro_uptime_seconds",
+        view.get("uptime_seconds", 0.0),
+        "Seconds since server start (monotonic).",
+        "gauge",
+    )
+
+    for name, value in sorted((view.get("counters") or {}).items()):
+        metric = f"repro_{name}_total"
+        emit(metric, value, f"Total {name.replace('_', ' ')}.", "counter")
+
+    latency = view.get("job_latency") or {}
+    count = latency.get("count") or 0
+    mean = latency.get("mean_seconds") or 0.0
+    lines.append(
+        "# HELP repro_job_latency_seconds Job completion latency"
+        " (sliding-window summary)."
+    )
+    lines.append("# TYPE repro_job_latency_seconds summary")
+    for quantile, key in (("0.5", "p50_seconds"), ("0.9", "p90_seconds"), ("0.99", "p99_seconds")):
+        lines.append(
+            f'repro_job_latency_seconds{{quantile="{quantile}"}}'
+            f" {_number(latency.get(key))}"
+        )
+    lines.append(f"repro_job_latency_seconds_sum {_number(mean * count)}")
+    lines.append(f"repro_job_latency_seconds_count {count}")
+
+    queue = view.get("queue") or {}
+    emit("repro_queue_depth", queue.get("depth", 0), "Queued jobs awaiting a worker.", "gauge")
+    emit("repro_jobs_running", queue.get("running", 0), "Jobs currently executing.", "gauge")
+    for status, value in sorted((queue.get("jobs") or {}).items()):
+        lines.append(f'repro_jobs{{status="{_escape_label(status)}"}} {_number(value)}')
+
+    cache = view.get("cache") or {}
+    emit("repro_cache_entries", cache.get("entries", 0), "In-memory result cache entries.", "gauge")
+    emit(
+        "repro_cache_hit_rate",
+        cache.get("hit_rate"),
+        "Fraction of lookups served from cache or store.",
+        "gauge",
+    )
+
+    workers = view.get("workers") or {}
+    emit("repro_workers", workers.get("count", 0), "Configured worker slots.", "gauge")
+    pool = workers.get("pool") or []
+    if pool:
+        lines.append("# HELP repro_worker_busy Whether the worker slot is running a job.")
+        lines.append("# TYPE repro_worker_busy gauge")
+        for gauge in pool:
+            label = f'{{worker_id="{_escape_label(gauge.get("worker_id"))}"}}'
+            lines.append(
+                f"repro_worker_busy{label}"
+                f" {1 if gauge.get('state') == 'busy' else 0}"
+            )
+        for field_name, help_text in (
+            ("jobs_completed", "Jobs completed by the worker slot."),
+            ("crashes", "Worker process crashes observed on the slot."),
+            ("recycles", "Worker process recycles performed on the slot."),
+        ):
+            metric = f"repro_worker_{field_name}_total"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            for gauge in pool:
+                label = f'{{worker_id="{_escape_label(gauge.get("worker_id"))}"}}'
+                lines.append(f"{metric}{label} {_number(gauge.get(field_name, 0))}")
+
+    lines.append("# HELP repro_up Scrape success indicator.")
+    lines.append("# TYPE repro_up gauge")
+    lines.append("repro_up 1")
+    return "\n".join(lines) + "\n"

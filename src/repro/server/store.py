@@ -108,6 +108,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     started_at       REAL,
     finished_at      REAL,
     partial_json     TEXT,
+    trace_id         TEXT,
+    parent_span      TEXT,
     system_json      TEXT NOT NULL,
     property_json    TEXT NOT NULL,
     options_json     TEXT NOT NULL
@@ -144,6 +146,22 @@ _SCHEMA_STATEMENTS = (
         expires_at REAL NOT NULL
     )
     """,
+    """
+    CREATE TABLE IF NOT EXISTS spans (
+        trace_id   TEXT NOT NULL,
+        span_id    TEXT NOT NULL,
+        parent_id  TEXT,
+        job_id     TEXT,
+        name       TEXT NOT NULL,
+        start_time REAL NOT NULL,
+        duration   REAL NOT NULL,
+        status     TEXT NOT NULL DEFAULT 'ok',
+        attrs      TEXT NOT NULL DEFAULT '{}',
+        PRIMARY KEY (trace_id, span_id)
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS spans_by_job ON spans (job_id)"
+    " WHERE job_id IS NOT NULL",
 )
 
 #: Columns shared by the PR 2 ``jobs`` table and the current one, used to
@@ -180,6 +198,10 @@ class StoredJob:
     system_dict: Dict[str, Any]
     property_dict: Dict[str, Any]
     options_dict: Dict[str, Any]
+    #: Distributed-trace correlation (see :mod:`repro.obs`): the trace this
+    #: job belongs to and the submitting span it should parent under.
+    trace_id: Optional[str] = None
+    parent_span: Optional[str] = None
 
     def to_job(self) -> VerificationJob:
         """The engine-level job this row was built from."""
@@ -214,6 +236,8 @@ class StoredJob:
             data["expires_at"] = self.expires_at
         if self.error is not None:
             data["error"] = self.error
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
         if result is not None:
             data["result"] = result
         elif self.partial_result is not None:
@@ -247,6 +271,8 @@ class StoredJob:
             system_dict=json.loads(row["system_json"]),
             property_dict=json.loads(row["property_json"]),
             options_dict=json.loads(row["options_json"]),
+            trace_id=row["trace_id"],
+            parent_span=row["parent_span"],
         )
 
 
@@ -504,9 +530,15 @@ class JobStore:
                 row[1] for row in connection.execute("PRAGMA table_info(jobs)")
             }
             if "cancel_requested" in columns:
-                # A PR 3 store only lacks the worker-claim columns, which
+                # A PR 3+ store only lacks nullable columns added since
+                # (worker claims in PR 5, trace correlation in PR 7), which
                 # need no CHECK change: plain ALTERs suffice.
-                for name, kind in (("claimed_by", "TEXT"), ("heartbeat_at", "REAL")):
+                for name, kind in (
+                    ("claimed_by", "TEXT"),
+                    ("heartbeat_at", "REAL"),
+                    ("trace_id", "TEXT"),
+                    ("parent_span", "TEXT"),
+                ):
                     if name not in columns:
                         connection.execute(
                             f"ALTER TABLE jobs ADD COLUMN {name} {kind}"
@@ -550,13 +582,18 @@ class JobStore:
         label: Optional[str] = None,
         ttl_seconds: Optional[float] = None,
         deadline_ms: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> StoredJob:
         """Persist *job* as ``queued`` and return its stored form (with id).
 
         ``ttl_seconds`` schedules the job row (and, transitively, any result
         no other job references) for deletion that long after it reaches a
         terminal state; ``deadline_ms`` bounds the wall-clock time the search
-        may run once claimed.
+        may run once claimed.  ``trace_id``/``parent_span`` attach the job to
+        a distributed trace (see :mod:`repro.obs`): whichever server claims
+        it -- this process or a peer sharing the store -- parents its worker
+        spans there, so one coherent trace spans the deployment.
 
         Job ids are 12 random hex digits; on the (astronomically rare but
         not impossible) collision with an existing row, the INSERT is simply
@@ -571,8 +608,9 @@ class JobStore:
                     conn.execute(
                         "INSERT INTO jobs (id, fingerprint, system_name, property_name,"
                         " label, status, cache_hit, ttl_seconds, deadline_ms,"
-                        " submitted_at, system_json, property_json, options_json)"
-                        " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?)",
+                        " submitted_at, trace_id, parent_span,"
+                        " system_json, property_json, options_json)"
+                        " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?, ?, ?)",
                         (
                             job_id,
                             job.fingerprint,
@@ -582,6 +620,8 @@ class JobStore:
                             ttl_seconds,
                             deadline_ms,
                             now,
+                            trace_id,
+                            parent_span,
                             json.dumps(job.system_dict),
                             json.dumps(job.property_dict),
                             json.dumps(job.options_dict),
@@ -1252,6 +1292,83 @@ class JobStore:
                 "SELECT COUNT(*) FROM events WHERE job_id = ?", (job_id,)
             ).fetchone()[0]
 
+    # ------------------------------------------------------------------- spans
+
+    def append_span(
+        self,
+        span: Dict[str, Any],
+        busy_timeout_seconds: Optional[float] = None,
+    ) -> None:
+        """Persist one finished trace span (see :class:`repro.obs.Span`).
+
+        ``INSERT OR REPLACE`` keyed on ``(trace_id, span_id)`` makes retries
+        (a worker crash between export and ack, a drain-loop replay)
+        idempotent.  ``busy_timeout_seconds`` lets heartbeat-adjacent
+        callers fail fast; the caller decides whether a dropped span is
+        acceptable.
+        """
+        with self._write(busy_timeout_seconds=busy_timeout_seconds) as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO spans"
+                " (trace_id, span_id, parent_id, job_id, name,"
+                "  start_time, duration, status, attrs)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    span["trace_id"],
+                    span["span_id"],
+                    span.get("parent_id"),
+                    span.get("job_id"),
+                    span.get("name", "?"),
+                    span.get("start_time", 0.0),
+                    span.get("duration", 0.0),
+                    span.get("status", "ok"),
+                    json.dumps(span.get("attrs", {})),
+                ),
+            )
+
+    def spans_for_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """All spans of one trace, oldest first (the ``/trace`` view body)."""
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT * FROM spans WHERE trace_id = ?"
+                " ORDER BY start_time, span_id",
+                (trace_id,),
+            ).fetchall()
+        return [
+            {
+                "trace_id": row["trace_id"],
+                "span_id": row["span_id"],
+                "parent_id": row["parent_id"],
+                "job_id": row["job_id"],
+                "name": row["name"],
+                "start_time": row["start_time"],
+                "duration": row["duration"],
+                "status": row["status"],
+                "attrs": json.loads(row["attrs"]),
+            }
+            for row in rows
+        ]
+
+    def span_count(self, trace_id: str) -> int:
+        with self._read() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) FROM spans WHERE trace_id = ?", (trace_id,)
+            ).fetchone()[0]
+
+    # --------------------------------------------------------------- readiness
+
+    def ping(self, busy_timeout_seconds: float = 0.25) -> bool:
+        """Fail-fast liveness probe for ``/readyz``: one trivial write
+        transaction under a short busy timeout, so a wedged or contended
+        store reads as *not ready* within the probe budget instead of
+        hanging the health check behind the full store timeout."""
+        try:
+            with self._write(busy_timeout_seconds=busy_timeout_seconds) as conn:
+                conn.execute("SELECT 1").fetchone()
+            return True
+        except sqlite3.Error:
+            return False
+
     # ----------------------------------------------------------------- sweeping
 
     def sweep_expired(self, now: Optional[float] = None) -> Dict[str, int]:
@@ -1275,19 +1392,33 @@ class JobStore:
                 )
             ]
             if not expired:
-                return {"jobs": 0, "events": 0, "results": 0}
+                return {"jobs": 0, "events": 0, "results": 0, "spans": 0}
             placeholders = ",".join("?" for _ in expired)
             events = conn.execute(
                 f"DELETE FROM events WHERE job_id IN ({placeholders})", expired
             ).rowcount
+            spans = conn.execute(
+                f"DELETE FROM spans WHERE job_id IN ({placeholders})", expired
+            ).rowcount
             conn.execute(
                 f"DELETE FROM jobs WHERE id IN ({placeholders})", expired
             )
+            # Job-less spans (the HTTP submit span is shared by every job of
+            # its request) go once no live job references their trace.
+            spans += conn.execute(
+                "DELETE FROM spans WHERE job_id IS NULL AND trace_id NOT IN"
+                " (SELECT trace_id FROM jobs WHERE trace_id IS NOT NULL)"
+            ).rowcount
             results = conn.execute(
                 "DELETE FROM results WHERE fingerprint NOT IN"
                 " (SELECT fingerprint FROM jobs)"
             ).rowcount
-            return {"jobs": len(expired), "events": events, "results": results}
+            return {
+                "jobs": len(expired),
+                "events": events,
+                "results": results,
+                "spans": spans,
+            }
 
     def statistics(self) -> Dict[str, int]:
         with self._stats_lock:

@@ -61,16 +61,18 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
-from repro.core.control import CancellationToken, SearchControl
+from repro.core.control import CancellationToken, PhaseTimer, SearchControl
 from repro.core.verifier import VerificationResult, Verifier
 from repro.events import (
     CacheServed,
     JobFailed,
     SearchEvent,
+    SpanRecorded,
     VerificationStarted,
     WorkerCrashed,
     WorkerRecycled,
 )
+from repro.obs import TraceContext, TraceScope, Tracer
 from repro.service.jobs import VerificationJob
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (app imports us)
@@ -109,6 +111,7 @@ def process_worker_main(conn, cancel_event) -> None:
     (``None`` to exit, else a task dict), a stream of messages out::
 
         ("event", kind, data)     # progress events, relayed to the store
+        ("span", span_dict)       # finished trace spans (traced tasks only)
         ("done", result_dict)     # the serialized VerificationResult
         ("error", message)        # the search raised
 
@@ -149,10 +152,31 @@ def _run_task(task: Dict[str, Any], conn, cancel_event) -> Dict[str, Any]:
         # never kill the search; the parent notices the crash separately.
         conn.send(("event", event.kind, dict(event.data)))
 
+    # Traced tasks carry their context across the process boundary in the
+    # task dict; the child runs its own short-lived tracer whose exporter
+    # relays finished spans up the pipe (Tracer.finish swallows exporter
+    # errors, so a dying pipe cannot kill the search either).
+    traced: Dict[str, Any] = {}
+    trace = task.get("trace")
+    if trace:
+        tracer = Tracer(
+            enabled=True, exporter=lambda span: conn.send(("span", span.as_dict()))
+        )
+        parent = (
+            TraceContext(trace["trace_id"], trace["parent_span"])
+            if trace.get("parent_span")
+            else None
+        )
+        traced = {
+            "phase_timer": PhaseTimer(),
+            "trace": TraceScope(tracer, parent=parent, job_id=trace.get("job_id")),
+        }
+
     control = SearchControl(
         token=token,
         event_sink=relay,
         progress_interval=task.get("progress_interval", 500),
+        **traced,
     )
     result = Verifier(job.system(), job.options()).verify(job.ltl_property(), control)
     return result.as_dict()
@@ -318,6 +342,10 @@ class ProcessWorkerAgent(threading.Thread):
         started = time.monotonic()
         gauges = server.metrics.worker_gauges
         gauges.update(self.worker_id, state="busy", current_job=stored.id)
+        # The agent owns the job's worker.execute span: the child may be
+        # SIGKILL'd mid-search, and a dead process cannot close its own
+        # spans -- the agent closes this one with an error status instead.
+        execute_span = server._start_job_spans(stored, self.worker_id)
         try:
             job = stored.to_job()
             cached = server.cache.get(job.fingerprint)
@@ -328,6 +356,8 @@ class ProcessWorkerAgent(threading.Thread):
                         {"outcome": cached.outcome.value, "cache_hit": True},
                     )
                 )
+                if execute_span is not None:
+                    execute_span.set_attr("cache_hit", True)
                 server._finalize_result(
                     stored, cached, True, False, started, owner=self.worker_id
                 )
@@ -344,26 +374,41 @@ class ProcessWorkerAgent(threading.Thread):
                     self._cancel_event.set()
                 server.events.fire(VerificationStarted(job_id=stored.id))
                 self._jobs_on_child += 1
-                self._conn.send(
-                    {
-                        "system": job.system_dict,
-                        "property": job.property_dict,
-                        "options": job.options_dict,
-                        "deadline_ms": stored.deadline_ms,
-                        "progress_interval": server.progress_interval,
+                task = {
+                    "system": job.system_dict,
+                    "property": job.property_dict,
+                    "options": job.options_dict,
+                    "deadline_ms": stored.deadline_ms,
+                    "progress_interval": server.progress_interval,
+                }
+                if execute_span is not None:
+                    # The child's verify.* spans parent under this agent's
+                    # execute span, crossing the pipe as plain dict context.
+                    task["trace"] = {
+                        "trace_id": execute_span.trace_id,
+                        "parent_span": execute_span.span_id,
+                        "job_id": stored.id,
                     }
-                )
-                outcome = self._drain(stored, started)
+                self._conn.send(task)
+                outcome = self._drain(stored, started, execute_span)
             finally:
                 server._unregister_canceller(stored.id)
             if outcome == "crashed":
+                if execute_span is not None:
+                    execute_span.set_error(
+                        "worker process died mid-job", reason="worker-crashed"
+                    )
                 self._handle_crash(stored)
             elif outcome == "done":
                 gauges.increment(self.worker_id, "jobs_completed")
         finally:
+            if execute_span is not None:
+                server.tracer.finish(execute_span)
             gauges.update(self.worker_id, state="idle", current_job=None)
 
-    def _drain(self, stored: "StoredJob", started: float) -> str:
+    def _drain(
+        self, stored: "StoredJob", started: float, execute_span=None
+    ) -> str:
         """Pump child messages into the store until the job reaches an end.
 
         Returns ``"done"``, ``"error"`` or ``"crashed"``.  Once per
@@ -395,18 +440,39 @@ class ProcessWorkerAgent(threading.Thread):
                     # (it also runs the job's heartbeats).
                     server.events.fire(
                         SearchEvent(
-                            job_id=stored.id, data=message[2], kind=message[1]
+                            job_id=stored.id,
+                            data=message[2],
+                            kind=message[1],
+                            trace_id=stored.trace_id,
+                        )
+                    )
+                elif kind == "span":
+                    # A finished span relayed by the child's tracer: onto
+                    # the bus, where the TraceSink persists it.
+                    server.events.fire(
+                        SpanRecorded(
+                            job_id=stored.id,
+                            data=message[1],
+                            trace_id=message[1].get("trace_id"),
                         )
                     )
                 elif kind == "done":
                     result = VerificationResult.from_dict(message[1])
                     truncated = deadline_ms_binding(stored) and result.stats.timed_out
+                    if execute_span is not None:
+                        execute_span.set_attr("cache_hit", False)
+                        if result.stats.cancelled:
+                            execute_span.set_error(
+                                "search cancelled", reason="cancelled"
+                            )
                     server._finalize_result(
                         stored, result, False, truncated, started,
                         owner=self.worker_id,
                     )
                     return "done"
                 elif kind == "error":
+                    if execute_span is not None:
+                        execute_span.set_error(message[1])
                     if server.store.mark_error(
                         stored.id, message[1], worker_id=self.worker_id
                     ):

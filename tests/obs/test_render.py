@@ -1,0 +1,125 @@
+"""Unit tests of the span-tree builder and the ASCII waterfall renderer."""
+
+from __future__ import annotations
+
+from repro.obs import build_tree, render_trace
+
+
+def _span(name, span_id, parent_id=None, start=0.0, duration=0.1, **extra):
+    span = {
+        "trace_id": "t" * 32,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "job_id": "j1",
+        "name": name,
+        "start_time": start,
+        "duration": duration,
+        "status": "ok",
+        "attrs": {},
+    }
+    span.update(extra)
+    return span
+
+
+class TestBuildTree:
+    def test_children_nest_under_their_parent(self):
+        spans = [
+            _span("root", "r" * 16),
+            _span("child", "c" * 16, parent_id="r" * 16, start=0.01),
+            _span("grandchild", "g" * 16, parent_id="c" * 16, start=0.02),
+        ]
+        roots = build_tree(spans)
+        assert len(roots) == 1
+        assert roots[0]["span"]["name"] == "root"
+        child = roots[0]["children"][0]
+        assert child["span"]["name"] == "child"
+        assert child["children"][0]["span"]["name"] == "grandchild"
+
+    def test_unknown_parent_becomes_remote_placeholder(self):
+        # The client's own span never reaches the server, so the server-side
+        # root points at a parent_id with no recorded span.
+        spans = [_span("http.submit", "s" * 16, parent_id="f" * 16)]
+        roots = build_tree(spans)
+        assert len(roots) == 1
+        placeholder = roots[0]["span"]
+        assert placeholder["name"] == "client (remote)"
+        assert placeholder["attrs"] == {"remote": True}
+        assert roots[0]["children"][0]["span"]["name"] == "http.submit"
+
+    def test_siblings_under_one_unknown_parent_share_a_placeholder(self):
+        spans = [
+            _span("a", "a" * 16, parent_id="f" * 16, start=0.0, duration=0.2),
+            _span("b", "b" * 16, parent_id="f" * 16, start=0.3, duration=0.1),
+        ]
+        roots = build_tree(spans)
+        assert len(roots) == 1
+        names = [c["span"]["name"] for c in roots[0]["children"]]
+        assert names == ["a", "b"]
+        # The placeholder bar stretches over its children.
+        assert roots[0]["span"]["start_time"] == 0.0
+        assert abs(roots[0]["span"]["duration"] - 0.4) < 1e-9
+
+    def test_children_are_sorted_by_start_time(self):
+        spans = [
+            _span("root", "r" * 16),
+            _span("late", "b" * 16, parent_id="r" * 16, start=0.5),
+            _span("early", "a" * 16, parent_id="r" * 16, start=0.1),
+        ]
+        roots = build_tree(spans)
+        assert [c["span"]["name"] for c in roots[0]["children"]] == ["early", "late"]
+
+    def test_empty_input_is_an_empty_forest(self):
+        assert build_tree([]) == []
+
+
+class TestRenderTrace:
+    def _view(self, spans, status="done"):
+        return {"id": "job-1", "status": status, "trace_id": "t" * 32,
+                "spans": spans, "tree": build_tree(spans)}
+
+    def test_no_spans_prints_a_hint(self):
+        text = render_trace(self._view([]))
+        assert "spans=0" in text
+        assert "no spans recorded" in text
+
+    def test_waterfall_indents_by_depth_and_shows_durations(self):
+        spans = [
+            _span("worker.execute", "r" * 16, start=0.0, duration=1.0),
+            _span("verify.search", "c" * 16, parent_id="r" * 16,
+                  start=0.2, duration=0.5),
+        ]
+        text = render_trace(self._view(spans))
+        lines = text.splitlines()
+        assert any(line.startswith("worker.execute") for line in lines)
+        assert any(line.startswith("  verify.search") for line in lines)
+        assert "1.00s" in text and "500.0ms" in text
+
+    def test_error_spans_carry_a_failure_note(self):
+        spans = [_span("worker.execute", "r" * 16, status="error",
+                       attrs={"error": "worker process died mid-job",
+                              "reason": "worker-crashed"})]
+        text = render_trace(self._view(spans, status="error"))
+        assert "worker.execute !" in text
+        assert "status=error: worker-crashed" in text
+
+    def test_phase_attrs_render_a_breakdown(self):
+        spans = [_span(
+            "verify.search", "r" * 16, duration=1.0,
+            attrs={"phases": {
+                "successor-generation": {"seconds": 0.6, "count": 42},
+                "coverage-check": {"seconds": 0.1, "count": 42},
+            }},
+        )]
+        text = render_trace(self._view(spans))
+        assert "· successor-generation" in text
+        assert "(60%, 42×)" in text
+        assert "· coverage-check" in text
+        # Dominant phase listed first.
+        assert text.index("successor-generation") < text.index("coverage-check")
+
+    def test_width_bounds_the_bar_column(self):
+        spans = [_span("worker.execute", "r" * 16, duration=1.0)]
+        narrow = render_trace(self._view(spans), width=60)
+        wide = render_trace(self._view(spans), width=160)
+        bar = lambda text: max(line.count("█") for line in text.splitlines())
+        assert bar(wide) > bar(narrow)

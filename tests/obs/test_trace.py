@@ -1,0 +1,202 @@
+"""Unit tests of the tracing primitives: W3C context, spans, tracer, scope."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import (
+    Span,
+    TraceContext,
+    TraceScope,
+    Tracer,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        trace_id, span_id = new_trace_id(), new_span_id()
+        header = format_traceparent(trace_id, span_id)
+        context = parse_traceparent(header)
+        assert context == TraceContext(trace_id=trace_id, span_id=span_id)
+
+    def test_ids_have_w3c_lengths(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)  # hex
+
+    def test_missing_header_is_none(self):
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("") is None
+
+    @pytest.mark.parametrize("header", [
+        "garbage",
+        "00-short-span-01",
+        "00-" + "g" * 32 + "-" + "a" * 16 + "-01",     # non-hex trace id
+        "00-" + "a" * 32 + "-" + "b" * 15 + "-01",     # span id too short
+        "00-" + "a" * 32 + "-" + "b" * 16,             # missing flags
+        "0-" + "a" * 32 + "-" + "b" * 16 + "-01",      # bad version field
+        "00_" + "a" * 32 + "_" + "b" * 16 + "_01",     # wrong separators
+    ])
+    def test_malformed_header_is_none_never_raises(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_all_zero_ids_are_invalid_per_spec(self):
+        assert parse_traceparent("00-" + "0" * 32 + "-" + "b" * 16 + "-01") is None
+        assert parse_traceparent("00-" + "a" * 32 + "-" + "0" * 16 + "-01") is None
+
+    def test_case_and_whitespace_are_normalised(self):
+        header = "  00-" + "A" * 32 + "-" + "B" * 16 + "-01  "
+        context = parse_traceparent(header)
+        assert context is not None
+        assert context.trace_id == "a" * 32
+
+    def test_context_renders_its_own_traceparent(self):
+        context = TraceContext("a" * 32, "b" * 16)
+        assert parse_traceparent(context.traceparent()) == context
+
+
+class TestSpan:
+    def test_lifecycle_measures_duration(self):
+        span = Span(trace_id="t" * 32, span_id="s" * 16, name="work").start()
+        assert span.duration is None  # open
+        time.sleep(0.01)
+        span.end()
+        assert span.duration is not None and span.duration >= 0.005
+
+    def test_end_is_idempotent(self):
+        span = Span(trace_id="t" * 32, span_id="s" * 16, name="work").start()
+        span.end()
+        first = span.duration
+        time.sleep(0.005)
+        span.end()
+        assert span.duration == first
+
+    def test_set_error_records_status_and_reason(self):
+        span = Span(trace_id="t" * 32, span_id="s" * 16, name="work")
+        span.set_error("boom", reason="cancelled")
+        assert span.status == "error"
+        assert span.attrs["error"] == "boom"
+        assert span.attrs["reason"] == "cancelled"
+
+    def test_as_dict_is_json_shaped(self):
+        span = Span(trace_id="t" * 32, span_id="s" * 16, name="work",
+                    job_id="j1").start()
+        span.set_attr("states", 7)
+        span.end()
+        data = span.as_dict()
+        assert data["name"] == "work"
+        assert data["job_id"] == "j1"
+        assert data["attrs"] == {"states": 7}
+        assert data["duration"] == span.duration
+
+
+class TestTracer:
+    def test_disabled_tracer_hands_out_one_shared_noop(self):
+        tracer = Tracer(enabled=False, exporter=lambda s: pytest.fail("exported"))
+        a = tracer.start_span("one")
+        b = tracer.start_span("two")
+        assert a is b  # the shared singleton: no allocation when off
+        a.set_attr("k", "v")
+        a.set_error("x")
+        assert a.context() is None
+        tracer.finish(a)  # exporter never called (would fail the test)
+
+    def test_enabled_tracer_exports_on_finish(self):
+        exported = []
+        tracer = Tracer(enabled=True, exporter=exported.append)
+        span = tracer.start_span("op", job_id="j1")
+        assert exported == []  # only finished spans export
+        tracer.finish(span)
+        assert [s.name for s in exported] == ["op"]
+        assert exported[0].duration is not None
+
+    def test_parent_wins_over_trace_id(self):
+        tracer = Tracer(enabled=True)
+        parent = TraceContext("a" * 32, "b" * 16)
+        span = tracer.start_span("child", parent=parent, trace_id="c" * 32)
+        assert span.trace_id == "a" * 32
+        assert span.parent_id == "b" * 16
+
+    def test_trace_id_joins_without_parent(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.start_span("root", trace_id="c" * 32)
+        assert span.trace_id == "c" * 32
+        assert span.parent_id is None
+
+    def test_exporter_exceptions_are_swallowed(self):
+        def explode(_span):
+            raise RuntimeError("exporter down")
+        exported = []
+        tracer = Tracer(enabled=True, exporter=explode)
+        tracer.add_exporter(exported.append)
+        tracer.finish(tracer.start_span("op"))
+        assert len(exported) == 1  # later exporters still run
+
+    def test_span_context_manager_marks_exceptions(self):
+        exported = []
+        tracer = Tracer(enabled=True, exporter=exported.append)
+        with pytest.raises(ValueError):
+            with tracer.span("op"):
+                raise ValueError("bad input")
+        assert exported[0].status == "error"
+        assert "ValueError" in exported[0].attrs["error"]
+
+    def test_record_span_is_retroactive(self):
+        exported = []
+        tracer = Tracer(enabled=True, exporter=exported.append)
+        tracer.record_span("queue.wait", trace_id="a" * 32, parent_id="b" * 16,
+                           start_time=123.0, duration=0.5, job_id="j1")
+        span = exported[0]
+        assert (span.start_time, span.duration) == (123.0, 0.5)
+        assert span.parent_id == "b" * 16
+
+    def test_record_span_clamps_negative_durations(self):
+        exported = []
+        tracer = Tracer(enabled=True, exporter=exported.append)
+        tracer.record_span("queue.wait", trace_id="a" * 32, parent_id=None,
+                           start_time=123.0, duration=-0.25)
+        assert exported[0].duration == 0.0
+
+    def test_record_span_on_disabled_tracer_is_a_noop(self):
+        tracer = Tracer(enabled=False, exporter=lambda s: pytest.fail("exported"))
+        tracer.record_span("queue.wait", trace_id="a" * 32, parent_id=None,
+                           start_time=0.0, duration=1.0)
+
+
+class TestTraceScope:
+    def test_nesting_tracks_the_current_parent(self):
+        exported = []
+        tracer = Tracer(enabled=True, exporter=exported.append)
+        root = TraceContext("a" * 32, "b" * 16)
+        scope = TraceScope(tracer, parent=root, job_id="j1")
+        with scope.span("outer") as outer:
+            with scope.span("inner") as inner:
+                pass
+            with scope.span("sibling") as sibling:
+                pass
+        assert outer.parent_id == "b" * 16
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id  # restored after inner
+        assert {s.trace_id for s in exported} == {"a" * 32}
+        assert all(s.job_id == "j1" for s in exported)
+
+    def test_scope_over_disabled_tracer_keeps_nesting_harmless(self):
+        scope = TraceScope(Tracer(enabled=False))
+        with scope.span("outer") as outer:
+            with scope.span("inner") as inner:
+                inner.set_attr("k", "v")
+        assert outer.context() is None
+
+    def test_exception_inside_scope_span_sets_error(self):
+        exported = []
+        scope = TraceScope(Tracer(enabled=True, exporter=exported.append))
+        with pytest.raises(RuntimeError):
+            with scope.span("outer"):
+                raise RuntimeError("search blew up")
+        assert exported[0].status == "error"

@@ -103,7 +103,10 @@ def server(tmp_path, worker_model):
 
 class TestApi:
     def test_healthz(self, server):
-        assert _request(f"{server.url}/healthz") == (200, {"status": "ok"})
+        code, body = _request(f"{server.url}/healthz")
+        assert code == 200
+        assert body["status"] == "ok"
+        assert body["uptime_seconds"] >= 0
 
     def test_submit_poll_and_fetch_result_with_counterexample(self, server, tiny_system):
         jobs = _submit(server.url, _payload(tiny_system, _properties()[:1], label="smoke"))

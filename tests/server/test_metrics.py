@@ -1,8 +1,12 @@
-"""Tests of server metrics: nearest-rank percentiles and per-worker gauges."""
+"""Tests of server metrics: nearest-rank percentiles, per-worker gauges,
+monotonic uptime, and the Prometheus text rendering."""
 
 from __future__ import annotations
 
+import time
+
 from repro.server import LatencyTracker, ServerMetrics, WorkerGauges
+from repro.server.metrics import render_prometheus
 
 
 class TestLatencyPercentiles:
@@ -90,3 +94,103 @@ class TestWorkerGauges:
         metrics.worker_gauges.update("proc-0", state="idle")
         assert metrics.worker_gauges.snapshot()[0]["worker_id"] == "proc-0"
         assert metrics.counter("worker_crashes") == 0
+
+
+class TestUptimeIsMonotonic:
+    """Regression: uptime used to be ``time.time() - started_at``, which went
+    negative (or jumped) whenever NTP stepped the wall clock."""
+
+    def test_uptime_survives_a_backwards_wall_clock_step(self, monkeypatch):
+        metrics = ServerMetrics()
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() - 3600.0)
+        assert metrics.uptime_seconds() >= 0.0
+        assert metrics.snapshot()["uptime_seconds"] >= 0.0
+
+    def test_uptime_ignores_a_forwards_wall_clock_step(self, monkeypatch):
+        metrics = ServerMetrics()
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 3600.0)
+        # A step forward must not inflate uptime past real elapsed time.
+        assert metrics.uptime_seconds() < 60.0
+
+    def test_uptime_grows_with_the_monotonic_clock(self, monkeypatch):
+        metrics = ServerMetrics()
+        anchor = metrics._mono_started
+        monkeypatch.setattr(time, "monotonic", lambda: anchor + 12.5)
+        assert metrics.uptime_seconds() == 12.5
+
+    def test_started_at_stays_a_wall_clock_stamp_for_display(self):
+        metrics = ServerMetrics()
+        assert abs(metrics.started_at - time.time()) < 60.0
+
+
+class TestPrometheusRendering:
+    def _view(self, **overrides):
+        view = {
+            "server_id": "s1",
+            "uptime_seconds": 42.5,
+            "counters": {"jobs_submitted": 3, "worker_crashes": 0},
+            "job_latency": {
+                "count": 4, "mean_seconds": 2.0,
+                "p50_seconds": 1.5, "p90_seconds": 3.5, "p99_seconds": 4.0,
+            },
+            "queue": {"depth": 2, "running": 1,
+                      "jobs": {"queued": 2, "running": 1, "done": 5}},
+            "cache": {"entries": 7, "hit_rate": 0.25},
+            "workers": {"count": 2, "pool": [
+                {"worker_id": "a:proc-0", "state": "busy",
+                 "jobs_completed": 9, "crashes": 1, "recycles": 0},
+                {"worker_id": "a:proc-1", "state": "idle",
+                 "jobs_completed": 2, "crashes": 0, "recycles": 1},
+            ]},
+        }
+        view.update(overrides)
+        return view
+
+    def test_counters_become_suffixed_totals_with_help_and_type(self):
+        text = render_prometheus(self._view())
+        assert "# HELP repro_jobs_submitted_total Total jobs submitted." in text
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+        assert "repro_jobs_submitted_total 3" in text
+        assert text.endswith("repro_up 1\n")
+
+    def test_latency_summary_has_quantiles_sum_and_count(self):
+        text = render_prometheus(self._view())
+        assert 'repro_job_latency_seconds{quantile="0.5"} 1.5' in text
+        assert 'repro_job_latency_seconds{quantile="0.99"} 4.0' in text
+        assert "repro_job_latency_seconds_sum 8.0" in text  # mean * count
+        assert "repro_job_latency_seconds_count 4" in text
+
+    def test_empty_latency_window_renders_nan_quantiles(self):
+        text = render_prometheus(self._view(job_latency={
+            "count": 0, "mean_seconds": None,
+            "p50_seconds": None, "p90_seconds": None, "p99_seconds": None,
+        }))
+        assert 'repro_job_latency_seconds{quantile="0.5"} NaN' in text
+        assert "repro_job_latency_seconds_count 0" in text
+
+    def test_per_worker_gauges_are_labelled(self):
+        text = render_prometheus(self._view())
+        assert 'repro_worker_busy{worker_id="a:proc-0"} 1' in text
+        assert 'repro_worker_busy{worker_id="a:proc-1"} 0' in text
+        assert 'repro_worker_jobs_completed_total{worker_id="a:proc-0"} 9' in text
+        assert 'repro_worker_crashes_total{worker_id="a:proc-0"} 1' in text
+        assert 'repro_worker_recycles_total{worker_id="a:proc-1"} 1' in text
+
+    def test_job_status_series_and_queue_gauges(self):
+        text = render_prometheus(self._view())
+        assert "repro_queue_depth 2" in text
+        assert "repro_jobs_running 1" in text
+        assert 'repro_jobs{status="done"} 5' in text
+
+    def test_label_values_are_escaped(self):
+        text = render_prometheus(self._view(server_id='we"ird\\id'))
+        assert 'repro_server_info{server_id="we\\"ird\\\\id"} 1' in text
+
+    def test_missing_sections_render_defaults_not_errors(self):
+        text = render_prometheus({"counters": {}})
+        assert 'repro_server_info{server_id=""} 1' in text
+        assert "repro_workers 0" in text
+        assert "repro_cache_hit_rate NaN" in text
+        assert text.endswith("repro_up 1\n")

@@ -44,9 +44,9 @@ class CountingClient(VerifasClient):
         super().__init__(*args, **kwargs)
         self.request_count = 0
 
-    def _request(self, method, path, payload=None, timeout=None):
+    def _request(self, method, path, payload=None, timeout=None, headers=None):
         self.request_count += 1
-        return super()._request(method, path, payload, timeout=timeout)
+        return super()._request(method, path, payload, timeout=timeout, headers=headers)
 
 
 @pytest.fixture
