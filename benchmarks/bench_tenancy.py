@@ -1,0 +1,231 @@
+"""Tenancy benchmark: auth overhead, limiter cost, fair-share claim latency.
+
+Not a pytest file (no ``test_`` prefix): run it directly to (re)generate
+``BENCH_tenancy.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_tenancy.py
+
+Measures, on the current machine:
+
+* ``auth_overhead``   -- p50/p95 latency of ``GET /v1/jobs`` against the
+  same server with auth off vs on (bearer key resolved through the
+  registry's TTL cache): the per-request cost of the front door;
+* ``token_bucket``    -- ``TenantRateLimiter.check`` calls/sec for an
+  unlimited tenant and for a rate-limited one (the submit hot path);
+* ``key_resolve``     -- API-key resolutions/sec through the TTL cache vs
+  uncached (TTL 0, a salted-hash verify plus a store read every call);
+* ``fair_share_claim`` -- ``claim_next`` drains/sec of an equal backlog for
+  a single anonymous tenant (FIFO path) vs eight weighted tenants (stride
+  scheduling across ``claim_shares``).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.client import VerifasClient  # noqa: E402
+from repro.core.options import VerifierOptions  # noqa: E402
+from repro.has.builder import ArtifactSystemBuilder  # noqa: E402
+from repro.has.conditions import NULL, And, Const, Eq, Neq, Var  # noqa: E402
+from repro.has.schema import DatabaseSchema  # noqa: E402
+from repro.ltl import LTLFOProperty, parse_ltl  # noqa: E402
+from repro.server import VerificationServer  # noqa: E402
+from repro.server.store import JobStore  # noqa: E402
+from repro.service import VerificationJob  # noqa: E402
+from repro.spec import dump_property, dump_system  # noqa: E402
+from repro.tenancy import TenantRateLimiter, TenantRegistry  # noqa: E402
+
+
+def _tiny_system():
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder("tiny", schema)
+    task = builder.task("Main")
+    task.id_variable("item", "ITEMS")
+    task.variable("status")
+    task.internal_service(
+        "pick",
+        pre=Eq(Var("status"), NULL),
+        post=And(Neq(Var("item"), NULL), Eq(Var("status"), Const("picked"))),
+    )
+    task.internal_service(
+        "ship",
+        pre=Eq(Var("status"), Const("picked")),
+        post=Eq(Var("status"), Const("shipped")),
+    )
+    task.internal_service(
+        "reset",
+        pre=Eq(Var("status"), Const("shipped")),
+        post=And(Eq(Var("status"), NULL), Eq(Var("item"), NULL)),
+    )
+    return builder.build()
+
+
+def _property():
+    return LTLFOProperty(
+        "Main", parse_ltl("F p"),
+        {"p": Eq(Var("status"), Const("picked"))}, name="eventually-picked",
+    )
+
+
+def _distinct_jobs(system, count, start=0):
+    prop = _property()
+    return [
+        VerificationJob(
+            system_dict=dump_system(system),
+            property_dict=dump_property(prop),
+            options_dict=VerifierOptions(max_states=1000 + start + i).as_dict(),
+        )
+        for i in range(count)
+    ]
+
+
+def _latency_stats(samples_ms):
+    samples_ms = sorted(samples_ms)
+    return {
+        "p50_ms": round(statistics.median(samples_ms), 3),
+        "p95_ms": round(samples_ms[int(0.95 * (len(samples_ms) - 1))], 3),
+    }
+
+
+def bench_auth_overhead(requests: int = 200) -> dict:
+    """GET /v1/jobs latency, auth off vs on (warm registry cache)."""
+
+    def run(auth: bool) -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            server = VerificationServer(
+                store_path=Path(tmp) / "bench.db", port=0, workers=0,
+                quiet=True, auth_enabled=auth,
+            )
+            server.start()
+            try:
+                api_key = None
+                if auth:
+                    _, api_key = server.tenants.create("bench")
+                client = VerifasClient(server.url, api_key=api_key)
+                client.jobs()  # warm the connection path and the key cache
+                samples = []
+                for _ in range(requests):
+                    started = time.perf_counter()
+                    client.jobs()
+                    samples.append((time.perf_counter() - started) * 1000.0)
+            finally:
+                server.stop()
+        return _latency_stats(samples)
+
+    off = run(auth=False)
+    on = run(auth=True)
+    return {
+        "requests": requests,
+        "auth_off": off,
+        "auth_on": on,
+        "p50_overhead_ms": round(on["p50_ms"] - off["p50_ms"], 3),
+    }
+
+
+def bench_token_bucket(n_checks: int = 200_000) -> dict:
+    registry_free = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = JobStore(Path(tmp) / "bench.db")
+        registry = TenantRegistry(store)
+        unlimited, _ = registry.create("unlimited")
+        limited, _ = registry.create("limited", rate_limit=1e9, burst=1e9)
+        limiter = TenantRateLimiter()
+        for tenant in (unlimited, limited):
+            started = time.perf_counter()
+            for _ in range(n_checks):
+                limiter.check(tenant)
+            registry_free.append(time.perf_counter() - started)
+        store.close()
+    return {
+        "checks": n_checks,
+        "unlimited_per_sec": round(n_checks / registry_free[0]),
+        "limited_per_sec": round(n_checks / registry_free[1]),
+    }
+
+
+def bench_key_resolve(n_resolves: int = 2_000) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = JobStore(Path(tmp) / "bench.db")
+        cached = TenantRegistry(store, cache_ttl_seconds=60.0)
+        _, api_key = cached.create("bench")
+        uncached = TenantRegistry(store, cache_ttl_seconds=0.0)
+
+        results = {}
+        for label, registry in (("cached", cached), ("uncached", uncached)):
+            registry.resolve(api_key)  # prime
+            started = time.perf_counter()
+            for _ in range(n_resolves):
+                assert registry.resolve(api_key) is not None
+            elapsed = time.perf_counter() - started
+            results[label + "_per_sec"] = round(n_resolves / elapsed)
+        store.close()
+    results["resolves"] = n_resolves
+    return results
+
+
+def bench_fair_share_claim(backlog: int = 400, tenants: int = 8) -> dict:
+    """Drain an equal backlog through claim_next: one anonymous lane (the
+    FIFO fast path) vs *tenants* weighted lanes (stride scheduling)."""
+    system = _tiny_system()
+
+    def drain(n_tenants: int) -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = JobStore(Path(tmp) / "bench.db")
+            if n_tenants > 1:
+                registry = TenantRegistry(store)
+                names = [f"t{i}" for i in range(n_tenants)]
+                for index, name in enumerate(names):
+                    registry.create(name, weight=float(index + 1), tenant_id=name)
+                per_tenant = backlog // n_tenants
+                start = 0
+                for name in names:
+                    for job in _distinct_jobs(system, per_tenant, start=start):
+                        store.submit(job, tenant_id=name)
+                        start += 1
+                total = per_tenant * n_tenants
+            else:
+                for job in _distinct_jobs(system, backlog):
+                    store.submit(job)
+                total = backlog
+            started = time.perf_counter()
+            claimed = 0
+            while store.claim_next() is not None:
+                claimed += 1
+            elapsed = time.perf_counter() - started
+            store.close()
+        assert claimed == total, f"claimed {claimed} of {total}"
+        return {
+            "jobs": total,
+            "seconds": round(elapsed, 4),
+            "claims_per_sec": round(total / elapsed),
+        }
+
+    single = drain(1)
+    weighted = drain(tenants)
+    return {"single_tenant": single, f"weighted_{tenants}_tenants": weighted}
+
+
+def main() -> None:
+    report = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "auth_overhead": bench_auth_overhead(),
+        "token_bucket": bench_token_bucket(),
+        "key_resolve": bench_key_resolve(),
+        "fair_share_claim": bench_fair_share_claim(),
+    }
+    output = REPO_ROOT / "BENCH_tenancy.json"
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

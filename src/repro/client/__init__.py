@@ -33,7 +33,9 @@ from repro.client.http import (
     JobHandle,
     RemoteJobError,
     VerifasClient,
+    auth_headers,
     build_submit_payload,
+    default_api_key,
 )
 
 __all__ = [
@@ -42,5 +44,7 @@ __all__ = [
     "JobHandle",
     "RemoteJobError",
     "VerifasClient",
+    "auth_headers",
     "build_submit_payload",
+    "default_api_key",
 ]

@@ -39,6 +39,7 @@ from repro.client.http import (
     JobHandle,
     RemoteJobError,
     build_submit_payload,
+    default_api_key,
 )
 from repro.obs import format_traceparent, new_span_id, new_trace_id
 
@@ -57,6 +58,9 @@ class AsyncVerifasClient:
         push_events: bool = True,
         wait_ms: int = 10_000,
         trace_submissions: bool = True,
+        api_key: Optional[str] = None,
+        retry_throttled: bool = True,
+        throttle_max_wait: float = 60.0,
     ):
         self.base_url = base_url.rstrip("/")
         split = urlsplit(
@@ -82,6 +86,13 @@ class AsyncVerifasClient:
         #: Whether submissions carry a fresh W3C ``traceparent`` header
         #: (mirrors the sync client).
         self.trace_submissions = trace_submissions
+        #: API key sent as ``Authorization: Bearer`` on every request
+        #: (mirrors the sync client; ``None`` means anonymous).
+        self.api_key = api_key if api_key is not None else default_api_key()
+        #: 429 handling (mirrors the sync client): retried after the
+        #: server's ``Retry-After`` up to *throttle_max_wait* total seconds.
+        self.retry_throttled = retry_throttled
+        self.throttle_max_wait = throttle_max_wait
         # Created lazily inside a running loop: instantiating the client at
         # module import time (no loop yet) must work on Python 3.9, where a
         # Semaphore binds the loop that exists at construction.  Re-created
@@ -108,6 +119,9 @@ class AsyncVerifasClient:
         headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        auth = (
+            f"Authorization: Bearer {self.api_key}\r\n" if self.api_key else ""
+        )
         extra = "".join(
             f"{name}: {value}\r\n" for name, value in (headers or {}).items()
         )
@@ -117,22 +131,40 @@ class AsyncVerifasClient:
             "Accept: application/json\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{auth}"
             f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("ascii")
         budget = self.timeout if timeout is None else timeout
+        throttle_budget = self.throttle_max_wait if self.retry_throttled else 0.0
         async with self._gate():
-            try:
-                return await asyncio.wait_for(
-                    self._exchange(head + body, method, path), timeout=budget
-                )
-            except asyncio.TimeoutError:
-                raise ClientError(
-                    f"timed out after {budget}s on {method} {path}"
-                ) from None
-            except OSError as error:
-                raise ClientError(f"cannot reach {self.base_url}: {error}") from None
+            while True:
+                try:
+                    return await asyncio.wait_for(
+                        self._exchange(head + body, method, path), timeout=budget
+                    )
+                except asyncio.TimeoutError:
+                    raise ClientError(
+                        f"timed out after {budget}s on {method} {path}"
+                    ) from None
+                except ClientError as error:
+                    retry_after = error.retry_after
+                    if (
+                        error.status == 429
+                        and retry_after is not None
+                        and retry_after <= throttle_budget
+                    ):
+                        # Honour the server's Retry-After instead of
+                        # surfacing the 429 (mirrors the sync client).
+                        throttle_budget -= retry_after
+                        await asyncio.sleep(retry_after)
+                        continue
+                    raise
+                except OSError as error:
+                    raise ClientError(
+                        f"cannot reach {self.base_url}: {error}"
+                    ) from None
 
     async def _exchange(
         self, raw: bytes, method: str, path: str
@@ -168,10 +200,22 @@ class AsyncVerifasClient:
                 decoded = {}
             body = decoded if isinstance(decoded, dict) else {}
             if status >= 400:
+                retry_after: Optional[float] = None
+                hint = body.get("retry_after")
+                if isinstance(hint, (int, float)) and not isinstance(hint, bool):
+                    # The body's float is more precise than the header,
+                    # which HTTP rounds up to whole seconds.
+                    retry_after = max(0.0, float(hint))
+                elif "retry-after" in headers:
+                    try:
+                        retry_after = max(0.0, float(headers["retry-after"]))
+                    except ValueError:
+                        pass
                 raise ClientError(
                     body.get("error", f"HTTP {status} on {method} {path}"),
                     status=status,
                     body=body,
+                    retry_after=retry_after,
                 )
             return status, body
         finally:

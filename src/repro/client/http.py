@@ -28,19 +28,66 @@ from urllib.parse import quote, urlencode
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import format_traceparent, new_span_id, new_trace_id
+from repro.tenancy import DEFAULT_TEST_API_KEY
 
 #: Lifecycle states after which a job can never change again.
 TERMINAL_STATES = ("done", "error", "cancelled")
 
 
+def default_api_key() -> Optional[str]:
+    """The API key a default-constructed client should send, if any.
+
+    ``REPRO_API_KEY`` wins; under the test hook ``REPRO_TEST_AUTH=1`` the
+    bootstrap test tenant's key (``REPRO_TEST_API_KEY`` override or the
+    well-known default) is used, so the existing suites run unchanged
+    against an auth-enabled server.  ``None`` means anonymous.
+    """
+    key = os.environ.get("REPRO_API_KEY")
+    if key:
+        return key
+    if os.environ.get("REPRO_TEST_AUTH", "") == "1":
+        return os.environ.get("REPRO_TEST_API_KEY", DEFAULT_TEST_API_KEY)
+    return None
+
+
+def _retry_after_seconds(
+    error: "urllib.error.HTTPError", body: Dict[str, Any]
+) -> Optional[float]:
+    """The server's retry hint, if any: the JSON body's float is preferred
+    over the ``Retry-After`` header (which HTTP rounds up to whole seconds)."""
+    value = body.get("retry_after")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return max(0.0, float(value))
+    header = error.headers.get("Retry-After") if error.headers else None
+    if header is not None:
+        try:
+            return max(0.0, float(header))
+        except ValueError:
+            pass
+    return None
+
+
+def auth_headers() -> Dict[str, str]:
+    """``{"Authorization": ...}`` for raw-``urllib`` callers (tests, curl
+    helpers); empty when no default key applies."""
+    key = default_api_key()
+    return {"Authorization": f"Bearer {key}"} if key else {}
+
+
 class ClientError(Exception):
-    """Transport-level or HTTP-level failure of one API call."""
+    """Transport-level or HTTP-level failure of one API call.
+
+    ``retry_after`` is set (seconds) on 429 responses that advertised one,
+    after the client's own throttle-retry budget was exhausted.
+    """
 
     def __init__(self, message: str, status: Optional[int] = None,
-                 body: Optional[Dict[str, Any]] = None):
+                 body: Optional[Dict[str, Any]] = None,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
         self.body = body or {}
+        self.retry_after = retry_after
 
 
 class RemoteJobError(ClientError):
@@ -113,9 +160,21 @@ class VerifasClient:
         push_events: Optional[bool] = None,
         wait_ms: int = 10_000,
         trace_submissions: bool = True,
+        api_key: Optional[str] = None,
+        retry_throttled: bool = True,
+        throttle_max_wait: float = 60.0,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: API key sent as ``Authorization: Bearer`` on every request.
+        #: Defaults from the environment (see :func:`default_api_key`);
+        #: ``None`` means anonymous.
+        self.api_key = api_key if api_key is not None else default_api_key()
+        #: Whether 429 responses are retried after their ``Retry-After``.
+        self.retry_throttled = retry_throttled
+        #: Total seconds one call may spend sleeping on 429s before the
+        #: :class:`ClientError` (with ``retry_after`` set) surfaces.
+        self.throttle_max_wait = throttle_max_wait
         #: Whether :meth:`submit_payload` injects a W3C ``traceparent``
         #: header (a fresh trace per submission).  Costs two uuid4s and one
         #: header; against an untraced server it still stamps the job rows
@@ -147,31 +206,47 @@ class VerifasClient:
     ) -> Tuple[int, Dict[str, Any]]:
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         request_headers = {"Content-Type": "application/json"}
+        if self.api_key:
+            request_headers["Authorization"] = f"Bearer {self.api_key}"
         if headers:
             request_headers.update(headers)
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers=request_headers,
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout if timeout is None else timeout
-            ) as response:
-                return response.status, json.load(response)
-        except urllib.error.HTTPError as error:
+        throttle_budget = self.throttle_max_wait if self.retry_throttled else 0.0
+        while True:
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=data,
+                method=method,
+                headers=request_headers,
+            )
             try:
-                body = json.loads(error.read().decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                body = {}
-            raise ClientError(
-                body.get("error", f"HTTP {error.code} on {method} {path}"),
-                status=error.code,
-                body=body,
-            ) from None
-        except (urllib.error.URLError, OSError) as error:
-            raise ClientError(f"cannot reach {self.base_url}: {error}") from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None else timeout
+                ) as response:
+                    return response.status, json.load(response)
+            except urllib.error.HTTPError as error:
+                try:
+                    body = json.loads(error.read().decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    body = {}
+                retry_after = _retry_after_seconds(error, body)
+                if (
+                    error.code == 429
+                    and retry_after is not None
+                    and retry_after <= throttle_budget
+                ):
+                    # The server said exactly how long until the submit can
+                    # succeed; honour it rather than surfacing the 429.
+                    throttle_budget -= retry_after
+                    time.sleep(retry_after)
+                    continue
+                raise ClientError(
+                    body.get("error", f"HTTP {error.code} on {method} {path}"),
+                    status=error.code,
+                    body=body,
+                    retry_after=retry_after,
+                ) from None
+            except (urllib.error.URLError, OSError) as error:
+                raise ClientError(f"cannot reach {self.base_url}: {error}") from None
 
     # ------------------------------------------------------------------- basics
 

@@ -31,9 +31,11 @@ from repro.events.types import (
     RecoveryCompleted,
     SearchEvent,
     SpanRecorded,
+    QuotaExceeded,
     StaleJobsRequeued,
     SweepCompleted,
     SweeperLeaseMiss,
+    TenantThrottled,
     VerificationStarted,
     WorkerCrashed,
     WorkerRecycled,
@@ -56,6 +58,7 @@ __all__ = [
     "JobSubmitted",
     "LogSink",
     "MetricsSink",
+    "QuotaExceeded",
     "RecoveryCompleted",
     "SearchEvent",
     "SpanRecorded",
@@ -63,6 +66,7 @@ __all__ = [
     "StoreSink",
     "SweepCompleted",
     "SweeperLeaseMiss",
+    "TenantThrottled",
     "TraceSink",
     "VerificationStarted",
     "WorkerCrashed",

@@ -32,6 +32,7 @@ from repro.server.store import (
     JOB_STATUSES,
     TERMINAL_STATUSES,
     JobStore,
+    PendingQuotaExceeded,
     StoreBackedCache,
     StoredJob,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "JOB_STATUSES",
     "JobStore",
     "LatencyTracker",
+    "PendingQuotaExceeded",
     "ProcessWorkerAgent",
     "RecoveryReport",
     "ServerMetrics",

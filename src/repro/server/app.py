@@ -68,11 +68,13 @@ from repro.events import (
     JobSubmitted,
     LogSink,
     MetricsSink,
+    QuotaExceeded,
     SpanRecorded,
     StaleJobsRequeued,
     StoreSink,
     SweepCompleted,
     SweeperLeaseMiss,
+    TenantThrottled,
     TraceSink,
     VerificationStarted,
 )
@@ -88,8 +90,10 @@ from repro.server.handlers import ApiHandler
 from repro.server.metrics import ServerMetrics
 from repro.server.recovery import RecoveryReport, recover
 from repro.server.store import (
+    JOB_STATUSES,
     TERMINAL_STATUSES,
     JobStore,
+    PendingQuotaExceeded,
     StoreBackedCache,
     StoredJob,
 )
@@ -110,6 +114,14 @@ from repro.spec.codec import (
     load_system,
 )
 from repro.spec.errors import SpecError, SpecVersionError
+from repro.tenancy import (
+    DEFAULT_TEST_API_KEY,
+    AuthFailure,
+    Tenant,
+    TenantRateLimiter,
+    TenantRegistry,
+    ThrottledError,
+)
 
 
 class _HttpServer(ThreadingHTTPServer):
@@ -141,6 +153,8 @@ class VerificationServer:
         push_fallback_interval: float = 0.5,
         event_log_stream: Optional[Any] = None,
         trace_enabled: Optional[bool] = None,
+        auth_enabled: Optional[bool] = None,
+        tenant_cache_seconds: float = 1.0,
     ):
         if worker_model not in ("thread", "process"):
             raise ValueError(
@@ -235,6 +249,31 @@ class VerificationServer:
         self.push_fallback_interval = max(0.05, push_fallback_interval)
         self.store = JobStore(store_path)
         self.metrics = ServerMetrics(server_id=server_id)
+        if auth_enabled is None:
+            auth_enabled = os.environ.get("REPRO_TEST_AUTH", "").strip() == "1"
+        #: Whether the multi-tenant front door is on (see
+        #: :mod:`repro.tenancy`).  Default comes from ``REPRO_TEST_AUTH``
+        #: (a test hook, like ``REPRO_TRACE``); operators use ``serve
+        #: --auth``.  Off -- the zero-config default -- every request is
+        #: anonymous and behaviour is exactly the pre-tenancy API.
+        self.auth_enabled = bool(auth_enabled)
+        #: Tenant records + API-key resolution, persisted in this store.
+        #: ``tenant_cache_seconds`` bounds cross-server revocation latency.
+        self.tenants = TenantRegistry(
+            self.store, cache_ttl_seconds=tenant_cache_seconds
+        )
+        #: Per-tenant submit token buckets (in-memory, per server).
+        self.rate_limiter = TenantRateLimiter()
+        if self.auth_enabled and os.environ.get("REPRO_TEST_AUTH", "").strip() == "1":
+            # Test bootstrap: a deterministic tenant every server sharing
+            # the store converges on, so REPRO_TEST_AUTH=1 re-runs of the
+            # e2e suites need no out-of-band key exchange.  `ensure` is
+            # race-safe across processes.
+            self.tenants.ensure(
+                "repro-test",
+                api_key=os.environ.get("REPRO_TEST_API_KEY", DEFAULT_TEST_API_KEY),
+                tenant_id="repro-test",
+            )
         #: The typed event bus: every job / worker / sweeper occurrence is
         #: fired here once, and the sinks fan it out to the durable per-job
         #: log, the /metrics counters, and (optionally) a log stream.
@@ -493,7 +532,9 @@ class VerificationServer:
         """
         if result.stats.cancelled:
             if self.store.mark_cancelled(stored.id, result.as_dict(), worker_id=owner):
-                self.events.fire(JobCancelled(job_id=stored.id))
+                self.events.fire(
+                    JobCancelled(job_id=stored.id, tenant_id=stored.tenant_id)
+                )
             return
         if self.store.mark_done(
             stored.id,
@@ -509,6 +550,7 @@ class VerificationServer:
                         "seconds": time.monotonic() - started,
                         "cache_hit": cache_hit,
                     },
+                    tenant_id=stored.tenant_id,
                 )
             )
 
@@ -580,7 +622,11 @@ class VerificationServer:
                     execute_span.set_error(message)
                 if self.store.mark_error(stored.id, message, worker_id=worker_id):
                     self.events.fire(
-                        JobFailed(job_id=stored.id, data={"error": message})
+                        JobFailed(
+                            job_id=stored.id,
+                            data={"error": message},
+                            tenant_id=stored.tenant_id,
+                        )
                     )
                 return
             if execute_span is not None:
@@ -622,10 +668,13 @@ class VerificationServer:
                 CacheServed(
                     job_id=stored.id,
                     data={"outcome": cached.outcome.value, "cache_hit": True},
+                    tenant_id=stored.tenant_id,
                 )
             )
             return cached, True, False
-        self.events.fire(VerificationStarted(job_id=stored.id))
+        self.events.fire(
+            VerificationStarted(job_id=stored.id, tenant_id=stored.tenant_id)
+        )
         traced: Dict[str, Any] = {}
         if execute_span is not None:
             # Per-phase hot-loop attribution plus nested verify.* spans,
@@ -731,12 +780,45 @@ class VerificationServer:
 
     # -------------------------------------------------------------------- views
 
+    def authenticate(self, authorization: Optional[str]) -> Optional[Tenant]:
+        """Resolve an ``Authorization`` header to a tenant (the front door).
+
+        With auth disabled this always returns ``None`` (anonymous) without
+        looking at the header.  With auth enabled, a missing, non-Bearer,
+        malformed or unknown key raises :class:`~repro.tenancy.AuthFailure`
+        with status 401; a valid key of a revoked tenant raises it with 403.
+        The handler maps the failure to the matching JSON error response.
+        """
+        if not self.auth_enabled:
+            return None
+        try:
+            if not authorization:
+                raise AuthFailure(
+                    401, "missing Authorization header (expected 'Bearer <api-key>')"
+                )
+            scheme, _, key = authorization.partition(" ")
+            key = key.strip()
+            if scheme.lower() != "bearer" or not key:
+                raise AuthFailure(
+                    401, "malformed Authorization header (expected 'Bearer <api-key>')"
+                )
+            tenant = self.tenants.resolve(key)
+            if tenant is None:
+                raise AuthFailure(401, "unknown API key")
+            if tenant.revoked:
+                raise AuthFailure(403, "API key has been revoked")
+        except AuthFailure:
+            self.metrics.increment("auth_failures")
+            raise
+        return tenant
+
     def submit_payload(
         self,
         payload: Any,
         url_prefix: str = "/v1/jobs",
         trace_id: Optional[str] = None,
         parent_span: Optional[str] = None,
+        tenant: Optional[Tenant] = None,
     ) -> Dict[str, Any]:
         """Validate a ``POST /v1/jobs`` payload and enqueue one job per property.
 
@@ -753,6 +835,14 @@ class VerificationServer:
         span's context; every property of one POST shares it).  With
         tracing on and no incoming context, a fresh root trace is minted so
         programmatic submissions trace too.
+
+        ``tenant`` is the authenticated submitter (``None`` = anonymous):
+        its jobs are tenant-stamped for fair-share claiming and scoped
+        listing, and its rate limit / in-flight quota are enforced here
+        (:class:`ThrottledError` -> 429).  An optional integer ``priority``
+        field (-100..100, default 0) orders jobs *within* the submitter's
+        backlog; cross-tenant ordering is weight-based, so priority is not
+        a queue-jumping lever against other tenants.
         """
         if not isinstance(payload, Mapping):
             raise SpecError(
@@ -810,6 +900,11 @@ class VerificationServer:
                 raise SpecError("'deadline_ms' must be an integer")
             if deadline_ms <= 0:
                 raise SpecError("'deadline_ms' must be positive")
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise SpecError("'priority' must be an integer")
+        if not -100 <= priority <= 100:
+            raise SpecError("'priority' must be between -100 and 100")
 
         jobs = [
             VerificationJob(
@@ -822,21 +917,89 @@ class VerificationServer:
         ]
         if trace_id is None and self.tracer.enabled:
             trace_id = new_trace_id()
+        tenant_id = tenant.id if tenant is not None else None
+        if tenant is not None:
+            # Tenant policy gates, before any job row is written.  The rate
+            # limiter charges one token per job in the payload; the pending
+            # quota is preflighted for the whole batch here (and enforced
+            # atomically per job below, against racing submitters).
+            retry_after = self.rate_limiter.check(tenant, tokens=float(len(jobs)))
+            if retry_after > 0:
+                self.events.fire(
+                    TenantThrottled(
+                        tenant_id=tenant_id,
+                        data={"tenant": tenant_id, "retry_after": retry_after},
+                    )
+                )
+                raise ThrottledError(
+                    f"tenant {tenant.name!r} is over its submit rate limit"
+                    f" ({tenant.rate_limit}/s); retry in {retry_after:.2f}s",
+                    retry_after=retry_after,
+                    reason="rate_limit",
+                )
+            if tenant.max_pending is not None:
+                pending = self.store.pending_count(tenant_id)
+                if pending + len(jobs) > tenant.max_pending:
+                    self.events.fire(
+                        QuotaExceeded(
+                            tenant_id=tenant_id,
+                            data={
+                                "tenant": tenant_id,
+                                "pending": pending,
+                                "limit": tenant.max_pending,
+                            },
+                        )
+                    )
+                    raise ThrottledError(
+                        f"tenant {tenant.name!r} has {pending} jobs in flight;"
+                        f" accepting {len(jobs)} more would exceed its quota"
+                        f" of {tenant.max_pending}",
+                        retry_after=1.0,
+                        reason="quota",
+                    )
         accepted = []
         for job in jobs:
-            stored = self.store.submit(
-                job,
-                label=label,
-                ttl_seconds=ttl_seconds,
-                deadline_ms=deadline_ms,
-                trace_id=trace_id,
-                parent_span=parent_span,
-            )
+            try:
+                stored = self.store.submit(
+                    job,
+                    label=label,
+                    ttl_seconds=ttl_seconds,
+                    deadline_ms=deadline_ms,
+                    trace_id=trace_id,
+                    parent_span=parent_span,
+                    tenant_id=tenant_id,
+                    priority=priority,
+                    pending_limit=(
+                        tenant.max_pending if tenant is not None else None
+                    ),
+                )
+            except PendingQuotaExceeded as error:
+                # A racing submitter consumed the preflighted headroom
+                # mid-batch; earlier jobs of this POST stay accepted.
+                self.events.fire(
+                    QuotaExceeded(
+                        tenant_id=tenant_id,
+                        data={
+                            "tenant": tenant_id,
+                            "pending": error.pending,
+                            "limit": error.limit,
+                        },
+                    )
+                )
+                if accepted:
+                    self._wakeup.set()
+                raise ThrottledError(
+                    str(error),
+                    retry_after=1.0,
+                    reason="quota",
+                    accepted=accepted,
+                ) from error
             self.events.fire(
                 JobSubmitted(
                     job_id=stored.id,
                     data={"fingerprint": stored.fingerprint},
                     trace_id=trace_id,
+                    tenant_id=tenant_id,
                 )
             )
             entry = {
@@ -854,13 +1017,32 @@ class VerificationServer:
         self._wakeup.set()
         return {"jobs": accepted}
 
-    def job_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+    def _visible_job(
+        self, job_id: str, tenant_id: Optional[str]
+    ) -> Optional[StoredJob]:
+        """The job, if *tenant_id* may see it.
+
+        Tenant scoping deliberately conflates "no such job" with "someone
+        else's job": both come back ``None`` (the handler's 404), so a
+        tenant probing ids learns nothing about other tenants' workloads.
+        ``tenant_id=None`` is the unscoped (anonymous / auth-off) view.
+        """
+        stored = self.store.get_job(job_id)
+        if stored is None:
+            return None
+        if tenant_id is not None and stored.tenant_id != tenant_id:
+            return None
+        return stored
+
+    def job_view(
+        self, job_id: str, tenant_id: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
         """The ``GET /v1/jobs/<id>`` body: status, plus the result when done.
 
         Cancelled jobs surface their partial ``UNKNOWN`` result (stored on
         the job row) through the same ``result`` key.
         """
-        stored = self.store.get_job(job_id)
+        stored = self._visible_job(job_id, tenant_id)
         if stored is None:
             return None
         result = None
@@ -869,7 +1051,9 @@ class VerificationServer:
             result = self.store.get_result(stored.fingerprint, count=False)
         return stored.as_dict(result=result)
 
-    def cancel_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+    def cancel_job(
+        self, job_id: str, tenant_id: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
         """The ``DELETE /v1/jobs/<id>`` body: cooperative cancellation.
 
         Queued jobs become ``cancelled`` immediately; running jobs get their
@@ -881,6 +1065,9 @@ class VerificationServer:
         DELETEs) are reported unchanged -- the store appends the ``cancel``
         event and bumps nothing twice.
         """
+        if tenant_id is not None and self._visible_job(job_id, tenant_id) is None:
+            # Cross-tenant DELETE: indistinguishable from an unknown id.
+            return None
         outcome = self.store.request_cancel(job_id)
         if outcome is None:
             return None
@@ -908,14 +1095,18 @@ class VerificationServer:
         }
 
     def events_view(
-        self, job_id: str, cursor: int = 0, limit: int = 500
+        self,
+        job_id: str,
+        cursor: int = 0,
+        limit: int = 500,
+        tenant_id: Optional[str] = None,
     ) -> Optional[Dict[str, Any]]:
         """The ``GET /v1/jobs/<id>/events`` body: incremental event polling.
 
         Clients pass back the returned ``cursor`` to receive only newer
         events; ``terminal`` tells them when to stop polling.
         """
-        stored = self.store.get_job(job_id)
+        stored = self._visible_job(job_id, tenant_id)
         if stored is None:
             return None
         events = self.store.events_after(job_id, cursor=cursor, limit=limit)
@@ -929,7 +1120,12 @@ class VerificationServer:
         }
 
     def events_view_wait(
-        self, job_id: str, cursor: int = 0, limit: int = 500, wait_ms: int = 0
+        self,
+        job_id: str,
+        cursor: int = 0,
+        limit: int = 500,
+        wait_ms: int = 0,
+        tenant_id: Optional[str] = None,
     ) -> Optional[Dict[str, Any]]:
         """:meth:`events_view`, but blocking up to *wait_ms* for news.
 
@@ -943,7 +1139,7 @@ class VerificationServer:
         plain polling with the dead time pushed server-side.
         """
         wait_ms = max(0, min(int(wait_ms), self.long_poll_max_ms))
-        view = self.events_view(job_id, cursor=cursor, limit=limit)
+        view = self.events_view(job_id, cursor=cursor, limit=limit, tenant_id=tenant_id)
         if view is None or view["events"] or view["terminal"] or wait_ms == 0:
             return view
         deadline = time.monotonic() + wait_ms / 1000.0
@@ -952,7 +1148,9 @@ class VerificationServer:
         # returns at once instead of sleeping out the interval.
         with self.broker.subscription(job_id) as subscription:
             while True:
-                view = self.events_view(job_id, cursor=cursor, limit=limit)
+                view = self.events_view(
+                    job_id, cursor=cursor, limit=limit, tenant_id=tenant_id
+                )
                 if view is None or view["events"] or view["terminal"]:
                     return view
                 remaining = deadline - time.monotonic()
@@ -965,26 +1163,41 @@ class VerificationServer:
         status: Optional[str] = None,
         limit: int = 100,
         ids: Optional[List[str]] = None,
+        tenant_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """The ``GET /v1/jobs`` body.
 
         With ``ids`` (repeated ``?id=`` query params) this is the *batch
         status view*: one round-trip returns the listed jobs -- including
         each done job's result, so a waiting client needs no follow-up GET
-        per job -- with unknown ids simply absent.  Without ``ids`` it is
-        the recency listing, as before.
+        per job -- with unknown ids simply absent (and another tenant's ids
+        deliberately indistinguishable from unknown ones).  Without ``ids``
+        it is the recency listing, as before.  An unknown ``status`` raises
+        ``ValueError`` (-> 400) on *both* paths -- the batch path used to
+        ignore it silently.
         """
+        if status is not None and status not in JOB_STATUSES:
+            raise ValueError(
+                f"unknown job status {status!r}; expected one of {JOB_STATUSES}"
+            )
         if ids is not None:
             views = []
             for stored in self.store.get_jobs(ids):
+                if tenant_id is not None and stored.tenant_id != tenant_id:
+                    continue
+                if status is not None and stored.status != status:
+                    continue
                 result = None
                 if stored.status == "done":
                     result = self.store.get_result(stored.fingerprint, count=False)
                 views.append(stored.as_dict(result=result))
             return {"jobs": views}
         return {
-            "jobs": [stored.as_dict() for stored in self.store.list_jobs(status, limit)],
-            "counts": self.store.counts(),
+            "jobs": [
+                stored.as_dict()
+                for stored in self.store.list_jobs(status, limit, tenant_id=tenant_id)
+            ],
+            "counts": self.store.counts(tenant_id=tenant_id),
         }
 
     def metrics_view(self) -> Dict[str, Any]:
@@ -992,7 +1205,7 @@ class VerificationServer:
         lookups = cache["hits"] + cache["misses"]
         served_from_cache = cache["hits"] + cache["store_hits"]
         counts = self.store.counts()
-        return {
+        view = {
             **self.metrics.snapshot(),
             "queue": {
                 "depth": counts["queued"],
@@ -1007,8 +1220,44 @@ class VerificationServer:
             "workers": self.workers_view(),
             "store_path": self.store.path,
         }
+        tenants = self.tenants_metrics_view()
+        if tenants:
+            view["tenants"] = tenants
+        if self.auth_enabled:
+            view["auth_enabled"] = True
+        return view
 
-    def trace_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+    def tenants_metrics_view(self) -> Dict[str, Any]:
+        """The per-tenant section of ``/v1/metrics``.
+
+        One entry per tenant that owns jobs (store-wide state) or tripped a
+        counter on *this* server; anonymous traffic is excluded -- the
+        global counters already describe it.  Empty (and the ``tenants``
+        key absent) on an auth-off server with no tenant-stamped jobs, so
+        pre-tenancy consumers see an unchanged document.
+        """
+        job_counts = self.store.tenant_job_counts()
+        job_counts.pop("", None)  # anonymous: covered by the global view
+        counters = self.metrics.tenant_counters()
+        tenant_ids = set(job_counts) | set(counters)
+        if not tenant_ids:
+            return {}
+        names = {tenant.id: tenant.name for tenant in self.tenants.list()}
+        section: Dict[str, Any] = {}
+        for tenant_id in sorted(tenant_ids):
+            entry: Dict[str, Any] = {}
+            if tenant_id in names:
+                entry["name"] = names[tenant_id]
+            if tenant_id in job_counts:
+                entry["jobs"] = job_counts[tenant_id]
+            if tenant_id in counters:
+                entry["counters"] = counters[tenant_id]
+            section[tenant_id] = entry
+        return section
+
+    def trace_view(
+        self, job_id: str, tenant_id: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
         """The ``GET /v1/jobs/<id>/trace`` body: the job's full span tree.
 
         The trace is keyed by the *trace id* on the job row, so it includes
@@ -1017,7 +1266,7 @@ class VerificationServer:
         shared-store deployment -- not just this process's.  An untraced
         job returns an empty span list (200, not 404: the job exists).
         """
-        stored = self.store.get_job(job_id)
+        stored = self._visible_job(job_id, tenant_id)
         if stored is None:
             return None
         self.metrics.increment("trace_requests")

@@ -39,6 +39,14 @@ The API is JSON in, JSON out, versioned under ``/v1``:
 accepted jobs join the caller's distributed trace (malformed headers start a
 fresh trace, per spec -- never an error).
 
+When the server runs with authentication on (``serve --auth``), every job
+route requires ``Authorization: Bearer vk_...`` -- missing/unknown keys are
+401, revoked ones 403, and each response is scoped to the calling tenant
+(another tenant's job ids answer 404, never 403, to avoid leaking their
+existence).  Submits over the tenant's rate limit or in-flight quota answer
+429 with a ``Retry-After`` header.  ``/healthz``, ``/readyz`` and
+``/metrics`` stay unauthenticated for probes and scrapers.
+
 The original unversioned routes (``/jobs``, ``/metrics``, ``/healthz``, ...)
 remain as thin shims over the same views: they answer identically but carry a
 ``Deprecation: true`` header plus a ``Link: <...>; rel="successor-version"``
@@ -64,6 +72,7 @@ from repro.has.artifact_system import SpecificationError
 from repro.obs import parse_traceparent
 from repro.server.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.spec.errors import SpecError
+from repro.tenancy import AuthFailure, ThrottledError
 
 #: The current (only) API version prefix.
 API_PREFIX = "/v1"
@@ -74,6 +83,14 @@ _TRACE_PATH = re.compile(r"^/jobs/([^/]+)/trace$")
 
 #: Largest accepted request body (spec payloads are text; 16 MiB is generous).
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Cap on ``GET /v1/jobs?limit=``: larger asks are clamped here, negative
+#: ones are a 400.  Paginate by status/ids instead of raising the cap.
+MAX_LIST_LIMIT = 1000
+
+#: Sentinel distinguishing "request already answered with 401/403" from a
+#: successful anonymous (``None``) authentication.
+_AUTH_FAILED = object()
 
 
 class ApiHandler(BaseHTTPRequestHandler):
@@ -103,6 +120,9 @@ class ApiHandler(BaseHTTPRequestHandler):
         path, _, query = self.path.partition("?")
         route, self._deprecated = self._route(path)
         try:
+            # Probes and metrics stay unauthenticated even with the front
+            # door on: orchestrators and scrapers hold no tenant keys, and
+            # the views expose operational aggregates, not job contents.
             if route == "/healthz":
                 return self._send(200, self.app.health_view())
             if route == "/readyz":
@@ -110,24 +130,30 @@ class ApiHandler(BaseHTTPRequestHandler):
                 return self._send(200 if ready else 503, view)
             if route == "/metrics":
                 return self._metrics(parse_qs(query))
+            tenant = self._authenticate()
+            if tenant is _AUTH_FAILED:
+                return
+            tenant_id = tenant.id if tenant is not None else None
             if route == "/jobs":
-                return self._list_jobs(parse_qs(query))
+                return self._list_jobs(parse_qs(query), tenant_id)
             match = _EVENTS_PATH.match(route)
             if match:
                 # Clients percent-escape ids as single path segments; undo it
                 # so an escaped id resolves to the job it names.
-                return self._job_events(unquote(match.group(1)), parse_qs(query))
+                return self._job_events(
+                    unquote(match.group(1)), parse_qs(query), tenant_id
+                )
             match = _TRACE_PATH.match(route)
             if match:
                 job_id = unquote(match.group(1))
-                view = self.app.trace_view(job_id)
+                view = self.app.trace_view(job_id, tenant_id=tenant_id)
                 if view is None:
                     return self._send(404, {"error": f"no job with id {job_id!r}"})
                 return self._send(200, view)
             match = _JOB_PATH.match(route)
             if match:
                 job_id = unquote(match.group(1))
-                view = self.app.job_view(job_id)
+                view = self.app.job_view(job_id, tenant_id=tenant_id)
                 if view is None:
                     return self._send(404, {"error": f"no job with id {job_id!r}"})
                 return self._send(200, view)
@@ -148,6 +174,9 @@ class ApiHandler(BaseHTTPRequestHandler):
             # misparse it as the next request line.
             self.close_connection = True
             return self._send(404, {"error": f"unknown path {path!r}"})
+        tenant = self._authenticate(body_unread=True)
+        if tenant is _AUTH_FAILED:
+            return
         url_prefix = "/jobs" if self._deprecated else f"{API_PREFIX}/jobs"
         # A missing or malformed traceparent header is never an error: it
         # simply starts a fresh trace at this server (the W3C behaviour).
@@ -172,10 +201,24 @@ class ApiHandler(BaseHTTPRequestHandler):
                     url_prefix=url_prefix,
                     trace_id=trace_id,
                     parent_span=parent_span,
+                    tenant=tenant,
                 )
             except _BadRequest as error:
                 span.set_error(str(error))
                 return self._send(400, {"error": str(error)})
+            except ThrottledError as error:
+                span.set_error(f"throttled: {error.reason}")
+                body = {
+                    "error": str(error),
+                    "retry_after": error.retry_after,
+                    "reason": error.reason,
+                }
+                if error.accepted:
+                    # Part of the batch made it in before the limit tripped;
+                    # the client must not blindly resubmit those jobs.
+                    body["jobs"] = error.accepted
+                header = self.app.rate_limiter.retry_after_header(error.retry_after)
+                return self._send(429, body, extra_headers={"Retry-After": header})
             except (
                 SpecError, SpecificationError, ValueError, TypeError, KeyError
             ) as error:
@@ -205,9 +248,13 @@ class ApiHandler(BaseHTTPRequestHandler):
         match = _JOB_PATH.match(route)
         if not match:
             return self._send(404, {"error": f"unknown path {path!r}"})
+        tenant = self._authenticate()
+        if tenant is _AUTH_FAILED:
+            return
+        tenant_id = tenant.id if tenant is not None else None
         job_id = unquote(match.group(1))
         try:
-            view = self.app.cancel_job(job_id)
+            view = self.app.cancel_job(job_id, tenant_id=tenant_id)
             if view is None:
                 return self._send(404, {"error": f"no job with id {job_id!r}"})
             self._send(202, view)
@@ -217,6 +264,26 @@ class ApiHandler(BaseHTTPRequestHandler):
             self._send(500, {"error": f"{type(error).__name__}: {error}"})
 
     # ----------------------------------------------------------------- helpers
+
+    def _authenticate(self, body_unread: bool = False):
+        """Resolve the ``Authorization`` header to a tenant (or ``None``).
+
+        With auth off this is always ``None`` (anonymous).  On failure the
+        401/403 response is sent here and the :data:`_AUTH_FAILED` sentinel
+        returned; callers must bail out without further writes.  *body_unread*
+        marks requests whose body has not been consumed yet (POST): their
+        connection must close, or keep-alive would misparse the body.
+        """
+        try:
+            return self.app.authenticate(self.headers.get("Authorization"))
+        except AuthFailure as error:
+            if body_unread:
+                self.close_connection = True
+            extra = (
+                {"WWW-Authenticate": "Bearer"} if error.status == 401 else None
+            )
+            self._send(error.status, {"error": str(error)}, extra_headers=extra)
+            return _AUTH_FAILED
 
     def _metrics(self, params: Dict[str, list]) -> None:
         """``GET /metrics`` with content negotiation.
@@ -236,18 +303,33 @@ class ApiHandler(BaseHTTPRequestHandler):
             return self._send_text(200, render_prometheus(view), PROMETHEUS_CONTENT_TYPE)
         self._send(200, view)
 
-    def _list_jobs(self, params: Dict[str, list]) -> None:
+    def _list_jobs(
+        self, params: Dict[str, list], tenant_id: Optional[str] = None
+    ) -> None:
         status = params.get("status", [None])[0]
         limit = self._int_param(params, "limit", 100)
         if limit is None:
             return
+        if limit < 0:
+            return self._send(400, {"error": "limit must be non-negative"})
+        limit = min(limit, MAX_LIST_LIMIT)
         ids = params.get("id")  # repeated ?id=... -> batch status view
         try:
-            self._send(200, self.app.jobs_view(status=status, limit=limit, ids=ids))
+            self._send(
+                200,
+                self.app.jobs_view(
+                    status=status, limit=limit, ids=ids, tenant_id=tenant_id
+                ),
+            )
         except ValueError as error:
             self._send(400, {"error": str(error)})
 
-    def _job_events(self, job_id: str, params: Dict[str, list]) -> None:
+    def _job_events(
+        self,
+        job_id: str,
+        params: Dict[str, list],
+        tenant_id: Optional[str] = None,
+    ) -> None:
         cursor = self._int_param(params, "cursor", 0)
         if cursor is None:
             return
@@ -259,19 +341,29 @@ class ApiHandler(BaseHTTPRequestHandler):
             return
         accept = self.headers.get("Accept", "") or ""
         if "text/event-stream" in accept:
-            return self._stream_events(job_id, cursor, limit, wait_ms)
+            return self._stream_events(job_id, cursor, limit, wait_ms, tenant_id)
         if wait_ms > 0:
             self.app.metrics.increment("long_poll_requests")
             view = self.app.events_view_wait(
-                job_id, cursor=cursor, limit=limit, wait_ms=wait_ms
+                job_id, cursor=cursor, limit=limit, wait_ms=wait_ms,
+                tenant_id=tenant_id,
             )
         else:
-            view = self.app.events_view(job_id, cursor=cursor, limit=limit)
+            view = self.app.events_view(
+                job_id, cursor=cursor, limit=limit, tenant_id=tenant_id
+            )
         if view is None:
             return self._send(404, {"error": f"no job with id {job_id!r}"})
         self._send(200, view)
 
-    def _stream_events(self, job_id: str, cursor: int, limit: int, wait_ms: int) -> None:
+    def _stream_events(
+        self,
+        job_id: str,
+        cursor: int,
+        limit: int,
+        wait_ms: int,
+        tenant_id: Optional[str] = None,
+    ) -> None:
         """Server-Sent Events over the job's event log.
 
         One response streams every event from *cursor* on as
@@ -296,7 +388,7 @@ class ApiHandler(BaseHTTPRequestHandler):
                     cursor = int(last_event_id)
                 except ValueError:
                     pass
-        if app.store.get_job(job_id) is None:
+        if app._visible_job(job_id, tenant_id) is None:
             return self._send(404, {"error": f"no job with id {job_id!r}"})
         budget_ms = wait_ms if wait_ms > 0 else app.long_poll_max_ms
         deadline = time.monotonic() + min(budget_ms, app.long_poll_max_ms) / 1000.0
@@ -311,7 +403,9 @@ class ApiHandler(BaseHTTPRequestHandler):
         try:
             with app.broker.subscription(job_id) as subscription:
                 while True:
-                    view = app.events_view(job_id, cursor=cursor, limit=limit)
+                    view = app.events_view(
+                        job_id, cursor=cursor, limit=limit, tenant_id=tenant_id
+                    )
                     if view is None:
                         return  # job swept mid-stream: end of stream
                     for event in view["events"]:
@@ -378,18 +472,34 @@ class ApiHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise _BadRequest(f"malformed JSON body: {error}") from None
 
-    def _send(self, code: int, payload: Any) -> None:
+    def _send(
+        self,
+        code: int,
+        payload: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._send_bytes(
-            code, json.dumps(payload, indent=2).encode("utf-8") + b"\n", "application/json"
+            code,
+            json.dumps(payload, indent=2).encode("utf-8") + b"\n",
+            "application/json",
+            extra_headers=extra_headers,
         )
 
     def _send_text(self, code: int, text: str, content_type: str) -> None:
         self._send_bytes(code, text.encode("utf-8"), content_type)
 
-    def _send_bytes(self, code: int, body: bytes, content_type: str) -> None:
+    def _send_bytes(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         if getattr(self, "_deprecated", False):
             # Legacy unversioned route: same behaviour, plus a deprecation
             # signal and a pointer at the /v1 successor.

@@ -75,7 +75,18 @@ import time
 import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.verifier import VerificationResult
 from repro.service.cache import ResultCache
@@ -86,6 +97,23 @@ JOB_STATUSES = ("queued", "running", "done", "error", "cancelled")
 
 #: States a job can never leave (sweeping and cancellation only apply here).
 TERMINAL_STATUSES = ("done", "error", "cancelled")
+
+
+class PendingQuotaExceeded(Exception):
+    """A tenant's in-flight (queued + running) job quota is full.
+
+    Raised by :meth:`JobStore.submit` when called with a ``pending_limit``;
+    the check runs inside the submit transaction, so the quota holds exactly
+    even under concurrent submissions across server processes.  The HTTP
+    layer maps it to ``429 Too Many Requests``.
+    """
+
+    def __init__(self, pending: int, limit: int):
+        super().__init__(
+            f"tenant has {pending} jobs in flight (limit {limit})"
+        )
+        self.pending = pending
+        self.limit = limit
 
 _JOBS_DDL = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -110,6 +138,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     partial_json     TEXT,
     trace_id         TEXT,
     parent_span      TEXT,
+    tenant_id        TEXT,
+    priority         INTEGER NOT NULL DEFAULT 0,
     system_json      TEXT NOT NULL,
     property_json    TEXT NOT NULL,
     options_json     TEXT NOT NULL
@@ -162,6 +192,35 @@ _SCHEMA_STATEMENTS = (
     """,
     "CREATE INDEX IF NOT EXISTS spans_by_job ON spans (job_id)"
     " WHERE job_id IS NOT NULL",
+    "CREATE INDEX IF NOT EXISTS jobs_by_tenant ON jobs (tenant_id, status)",
+    # The multi-tenant front door (see repro.tenancy): one row per tenant,
+    # API keys stored as salted SHA-256 digests (the plaintext ``key_id``
+    # prefix is the lookup handle; the secret half never touches disk).
+    """
+    CREATE TABLE IF NOT EXISTS tenants (
+        id          TEXT PRIMARY KEY,
+        name        TEXT NOT NULL UNIQUE,
+        key_id      TEXT NOT NULL UNIQUE,
+        key_hash    TEXT NOT NULL,
+        key_salt    TEXT NOT NULL,
+        weight      REAL NOT NULL DEFAULT 1.0,
+        rate_limit  REAL,
+        burst       REAL,
+        max_pending INTEGER,
+        revoked     INTEGER NOT NULL DEFAULT 0,
+        created_at  REAL NOT NULL
+    )
+    """,
+    # Stride-scheduling state for weighted fair-share claiming: each
+    # tenant's virtual time advances by 1/weight per claim, and claim_next
+    # always serves the backlogged tenant with the smallest vtime.  The
+    # anonymous (unauthenticated) stream shares the '' row.
+    """
+    CREATE TABLE IF NOT EXISTS claim_shares (
+        tenant_key TEXT PRIMARY KEY,
+        vtime      REAL NOT NULL DEFAULT 0
+    )
+    """,
 )
 
 #: Columns shared by the PR 2 ``jobs`` table and the current one, used to
@@ -202,6 +261,11 @@ class StoredJob:
     #: job belongs to and the submitting span it should parent under.
     trace_id: Optional[str] = None
     parent_span: Optional[str] = None
+    #: Multi-tenant front door (see :mod:`repro.tenancy`): the owning tenant
+    #: (``None`` for anonymous submissions) and the intra-tenant priority
+    #: (higher first; fairness *between* tenants is weight-based instead).
+    tenant_id: Optional[str] = None
+    priority: int = 0
 
     def to_job(self) -> VerificationJob:
         """The engine-level job this row was built from."""
@@ -238,6 +302,10 @@ class StoredJob:
             data["error"] = self.error
         if self.trace_id is not None:
             data["trace_id"] = self.trace_id
+        if self.tenant_id is not None:
+            data["tenant_id"] = self.tenant_id
+        if self.priority:
+            data["priority"] = self.priority
         if result is not None:
             data["result"] = result
         elif self.partial_result is not None:
@@ -273,6 +341,8 @@ class StoredJob:
             options_dict=json.loads(row["options_json"]),
             trace_id=row["trace_id"],
             parent_span=row["parent_span"],
+            tenant_id=row["tenant_id"],
+            priority=row["priority"],
         )
 
 
@@ -506,6 +576,22 @@ class JobStore:
             if self._serial is not None:
                 self._serial.release()
 
+    def read_connection(self) -> ContextManager[sqlite3.Connection]:
+        """Public form of :meth:`_read` for sibling subsystems.
+
+        :class:`repro.tenancy.TenantRegistry` keeps its tables in this store
+        file and must share the store's connection pool and locking rules
+        rather than invent its own; this (and :meth:`write_transaction`) is
+        the supported way in.
+        """
+        return self._read()
+
+    def write_transaction(
+        self, busy_timeout_seconds: Optional[float] = None
+    ) -> ContextManager[sqlite3.Connection]:
+        """Public form of :meth:`_write` (one ``BEGIN IMMEDIATE`` transaction)."""
+        return self._write(busy_timeout_seconds)
+
     def _migrate(self, connection: sqlite3.Connection) -> None:
         """Rebuild a PR 2 ``jobs`` table in place (new columns, new CHECK).
 
@@ -530,14 +616,16 @@ class JobStore:
                 row[1] for row in connection.execute("PRAGMA table_info(jobs)")
             }
             if "cancel_requested" in columns:
-                # A PR 3+ store only lacks nullable columns added since
-                # (worker claims in PR 5, trace correlation in PR 7), which
-                # need no CHECK change: plain ALTERs suffice.
+                # A PR 3+ store only lacks columns added since (worker
+                # claims in PR 5, trace correlation in PR 7, tenancy in
+                # PR 8), which need no CHECK change: plain ALTERs suffice.
                 for name, kind in (
                     ("claimed_by", "TEXT"),
                     ("heartbeat_at", "REAL"),
                     ("trace_id", "TEXT"),
                     ("parent_span", "TEXT"),
+                    ("tenant_id", "TEXT"),
+                    ("priority", "INTEGER NOT NULL DEFAULT 0"),
                 ):
                     if name not in columns:
                         connection.execute(
@@ -584,6 +672,9 @@ class JobStore:
         deadline_ms: Optional[int] = None,
         trace_id: Optional[str] = None,
         parent_span: Optional[str] = None,
+        tenant_id: Optional[str] = None,
+        priority: int = 0,
+        pending_limit: Optional[int] = None,
     ) -> StoredJob:
         """Persist *job* as ``queued`` and return its stored form (with id).
 
@@ -595,6 +686,13 @@ class JobStore:
         it -- this process or a peer sharing the store -- parents its worker
         spans there, so one coherent trace spans the deployment.
 
+        ``tenant_id`` records the owning tenant (``None`` = anonymous) and
+        feeds weighted fair-share claiming; ``priority`` orders jobs within
+        one tenant's backlog (higher first).  ``pending_limit`` enforces the
+        tenant's in-flight quota atomically inside the submit transaction:
+        when the tenant already has that many queued + running jobs the
+        INSERT never happens and :class:`PendingQuotaExceeded` is raised.
+
         Job ids are 12 random hex digits; on the (astronomically rare but
         not impossible) collision with an existing row, the INSERT is simply
         retried with a fresh id rather than surfacing an ``IntegrityError``
@@ -605,12 +703,25 @@ class JobStore:
             job_id = uuid.uuid4().hex[:12]
             try:
                 with self._write() as conn:
+                    pending = conn.execute(
+                        "SELECT COUNT(*) FROM jobs"
+                        " WHERE status IN ('queued', 'running') AND tenant_id IS ?",
+                        (tenant_id,),
+                    ).fetchone()[0]
+                    if pending_limit is not None and pending >= pending_limit:
+                        raise PendingQuotaExceeded(pending, pending_limit)
+                    if pending == 0:
+                        # Idle tenant rejoining the queue: lift its virtual
+                        # time to the smallest vtime among currently
+                        # backlogged tenants, so sitting out never banks
+                        # credit it could later spend as a claim burst.
+                        self._lift_vtime_txn(conn, tenant_id)
                     conn.execute(
                         "INSERT INTO jobs (id, fingerprint, system_name, property_name,"
                         " label, status, cache_hit, ttl_seconds, deadline_ms,"
-                        " submitted_at, trace_id, parent_span,"
+                        " submitted_at, trace_id, parent_span, tenant_id, priority,"
                         " system_json, property_json, options_json)"
-                        " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                         (
                             job_id,
                             job.fingerprint,
@@ -622,6 +733,8 @@ class JobStore:
                             now,
                             trace_id,
                             parent_span,
+                            tenant_id,
+                            int(priority),
                             json.dumps(job.system_dict),
                             json.dumps(job.property_dict),
                             json.dumps(job.options_dict),
@@ -636,8 +749,34 @@ class JobStore:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
+    @staticmethod
+    def _lift_vtime_txn(
+        conn: sqlite3.Connection, tenant_id: Optional[str]
+    ) -> None:
+        """Raise *tenant_id*'s stride vtime to the backlogged minimum.
+
+        Part of the submit transaction.  ``MAX(vtime, excluded.vtime)``
+        makes the lift monotonic: a tenant ahead of the pack keeps its own
+        (higher) vtime and still waits its turn.
+        """
+        floor_row = conn.execute(
+            "SELECT MIN(COALESCE(s.vtime, 0.0)) FROM ("
+            " SELECT DISTINCT COALESCE(tenant_id, '') AS tkey FROM jobs"
+            " WHERE status IN ('queued', 'running')) b"
+            " LEFT JOIN claim_shares s ON s.tenant_key = b.tkey"
+        ).fetchone()
+        floor = floor_row[0] if floor_row is not None else None
+        if floor is None or floor <= 0:
+            return
+        conn.execute(
+            "INSERT INTO claim_shares (tenant_key, vtime) VALUES (?, ?)"
+            " ON CONFLICT(tenant_key)"
+            " DO UPDATE SET vtime = MAX(vtime, excluded.vtime)",
+            (tenant_id if tenant_id is not None else "", floor),
+        )
+
     def claim_next(self, worker_id: Optional[str] = None) -> Optional[StoredJob]:
-        """Atomically pop the oldest claimable ``queued`` job, marking it ``running``.
+        """Atomically pop the next claimable ``queued`` job, marking it ``running``.
 
         One ``BEGIN IMMEDIATE`` transaction, so each queued job is handed to
         exactly one worker even when several server *processes* claim from
@@ -655,11 +794,29 @@ class JobStore:
         :meth:`heartbeat` / :meth:`touch_claim` so :meth:`requeue_stale` can
         detect dead workers.  Claims without a ``worker_id`` never heartbeat
         and are never considered stale.
+
+        Selection is weighted fair share (stride scheduling) across tenants:
+        the claimable job whose tenant has the smallest virtual time wins,
+        and the winner's tenant is charged ``1/weight`` of virtual time --
+        so over any busy interval tenants receive claims proportional to
+        their configured weights instead of arrival order.  Unauthenticated
+        jobs share one anonymous stream (weight 1.0).  Within a tenant,
+        higher ``priority`` goes first, then FIFO; with a single (or no)
+        tenant the order degenerates to exactly the old
+        ``ORDER BY submitted_at, rowid``.
         """
+        peek_sql = (
+            "SELECT 1 FROM jobs WHERE status = 'queued' AND fingerprint NOT IN"
+            " (SELECT fingerprint FROM jobs WHERE status = 'running') LIMIT 1"
+        )
         candidate_sql = (
-            "SELECT id FROM jobs WHERE status = 'queued' AND fingerprint NOT IN"
+            "SELECT j.id AS id, COALESCE(j.tenant_id, '') AS tenant_key,"
+            " COALESCE(s.vtime, 0.0) AS vtime"
+            " FROM jobs j"
+            " LEFT JOIN claim_shares s ON s.tenant_key = COALESCE(j.tenant_id, '')"
+            " WHERE j.status = 'queued' AND j.fingerprint NOT IN"
             " (SELECT fingerprint FROM jobs WHERE status = 'running')"
-            " ORDER BY submitted_at, rowid LIMIT 1"
+            " ORDER BY vtime, j.priority DESC, j.submitted_at, j.rowid LIMIT 1"
         )
         # Cheap lock-free peek first: idle workers poll this at ~10 Hz per
         # slot across every server, and an empty queue must not cost the
@@ -667,12 +824,26 @@ class JobStore:
         # acquisitions.  The candidate is re-selected inside the write
         # transaction, so a racing claimer is still excluded.
         with self._read() as conn:
-            if conn.execute(candidate_sql).fetchone() is None:
+            if conn.execute(peek_sql).fetchone() is None:
                 return None
         with self._write() as conn:
             row = conn.execute(candidate_sql).fetchone()
             if row is None:
                 return None
+            weight_row = conn.execute(
+                "SELECT weight FROM tenants WHERE id = ?", (row["tenant_key"],)
+            ).fetchone()
+            weight = weight_row["weight"] if weight_row is not None else 1.0
+            if not weight or weight <= 0:  # registry validates; belt and braces
+                weight = 1.0
+            # Charge the claim inside the same transaction that takes the
+            # job, so concurrent claimers (threads and peer server
+            # processes) each advance the stride clock exactly once.
+            conn.execute(
+                "INSERT INTO claim_shares (tenant_key, vtime) VALUES (?, ?)"
+                " ON CONFLICT(tenant_key) DO UPDATE SET vtime = excluded.vtime",
+                (row["tenant_key"], row["vtime"] + 1.0 / weight),
+            )
             now = self._now()
             conn.execute(
                 "UPDATE jobs SET status = 'running', started_at = ?,"
@@ -1155,32 +1326,83 @@ class JobStore:
         return ordered
 
     def list_jobs(
-        self, status: Optional[str] = None, limit: int = 100
+        self,
+        status: Optional[str] = None,
+        limit: int = 100,
+        tenant_id: Optional[str] = None,
     ) -> List[StoredJob]:
-        """Most recently submitted jobs first, optionally filtered by status."""
+        """Most recently submitted jobs first, optionally filtered by status.
+
+        ``tenant_id`` restricts the listing to one tenant's jobs -- the
+        scoping behind authenticated ``GET /v1/jobs`` (``None`` means no
+        tenant filter, i.e. the anonymous/admin view of everything).
+        """
         if status is not None and status not in JOB_STATUSES:
             raise ValueError(f"unknown job status {status!r}; expected one of {JOB_STATUSES}")
         query = "SELECT * FROM jobs"
+        conditions: List[str] = []
         parameters: List[Any] = []
         if status is not None:
-            query += " WHERE status = ?"
+            conditions.append("status = ?")
             parameters.append(status)
+        if tenant_id is not None:
+            conditions.append("tenant_id IS ?")
+            parameters.append(tenant_id)
+        if conditions:
+            query += " WHERE " + " AND ".join(conditions)
         query += " ORDER BY submitted_at DESC, rowid DESC LIMIT ?"
         parameters.append(max(0, limit))
         with self._read() as conn:
             rows = conn.execute(query, parameters).fetchall()
         return [StoredJob._from_row(row) for row in rows]
 
-    def counts(self) -> Dict[str, int]:
-        """Jobs per status (every status present, zero when empty)."""
+    def counts(self, tenant_id: Optional[str] = None) -> Dict[str, int]:
+        """Jobs per status (every status present, zero when empty);
+        ``tenant_id`` scopes the tally to one tenant's jobs."""
+        query = "SELECT status, COUNT(*) AS n FROM jobs"
+        parameters: List[Any] = []
+        if tenant_id is not None:
+            query += " WHERE tenant_id IS ?"
+            parameters.append(tenant_id)
+        query += " GROUP BY status"
         with self._read() as conn:
-            rows = conn.execute(
-                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
-            ).fetchall()
+            rows = conn.execute(query, parameters).fetchall()
         counts = {status: 0 for status in JOB_STATUSES}
         for row in rows:
             counts[row["status"]] = row["n"]
         return counts
+
+    def pending_count(self, tenant_id: Optional[str]) -> int:
+        """Queued + running jobs owned by *tenant_id* (``None`` = anonymous).
+
+        The read-only preflight for batch submissions; the authoritative
+        quota check is :meth:`submit`'s in-transaction ``pending_limit``.
+        """
+        with self._read() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) FROM jobs"
+                " WHERE status IN ('queued', 'running') AND tenant_id IS ?",
+                (tenant_id,),
+            ).fetchone()[0]
+
+    def tenant_job_counts(self) -> Dict[str, Dict[str, int]]:
+        """Jobs per (tenant, status) for tenants that own at least one job.
+
+        Keys are tenant ids, with ``''`` standing for anonymous submissions;
+        feeds the per-tenant section of ``GET /v1/metrics``.
+        """
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT COALESCE(tenant_id, '') AS tkey, status, COUNT(*) AS n"
+                " FROM jobs GROUP BY tkey, status"
+            ).fetchall()
+        result: Dict[str, Dict[str, int]] = {}
+        for row in rows:
+            per_status = result.setdefault(
+                row["tkey"], {status: 0 for status in JOB_STATUSES}
+            )
+            per_status[row["status"]] = row["n"]
+        return result
 
     # ------------------------------------------------------------------ results
 

@@ -1,0 +1,41 @@
+"""repro.tenancy -- the multi-tenant front door of the verification service.
+
+Three pieces turn the anonymous ``/v1`` API into one that many tenants can
+share safely (all pure stdlib, state in the same SQLite store file):
+
+* :class:`~repro.tenancy.registry.TenantRegistry` -- tenants and their API
+  keys, persisted in the job store's ``tenants`` table.  Keys look like
+  ``vk_<key_id>.<secret>``: the ``key_id`` half is the indexed lookup
+  handle, the secret half is stored only as a salted SHA-256 digest.
+* :class:`~repro.tenancy.ratelimit.TokenBucket` /
+  :class:`~repro.tenancy.ratelimit.TenantRateLimiter` -- per-tenant submit
+  rate limiting (429 + ``Retry-After``); in-flight quotas are enforced
+  atomically by :meth:`repro.server.store.JobStore.submit`.
+* Weighted fair-share claiming lives in
+  :meth:`repro.server.store.JobStore.claim_next` (stride scheduling over
+  the ``claim_shares`` table); the registry only supplies the weights.
+
+Authentication stays **off** by default: ``python -m repro serve`` keeps
+the zero-config anonymous API, ``serve --auth`` turns the front door on.
+Admin lifecycle is ``python -m repro tenant create/list/revoke``.
+"""
+
+from repro.tenancy.ratelimit import TenantRateLimiter, ThrottledError, TokenBucket
+from repro.tenancy.registry import (
+    DEFAULT_TEST_API_KEY,
+    AuthFailure,
+    Tenant,
+    TenantRegistry,
+    parse_api_key,
+)
+
+__all__ = [
+    "AuthFailure",
+    "DEFAULT_TEST_API_KEY",
+    "Tenant",
+    "TenantRateLimiter",
+    "TenantRegistry",
+    "ThrottledError",
+    "TokenBucket",
+    "parse_api_key",
+]

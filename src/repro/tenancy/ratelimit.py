@@ -1,0 +1,138 @@
+"""Per-tenant token-bucket rate limiting for the submit path.
+
+A classic token bucket: capacity ``burst`` tokens, refilled continuously at
+``rate`` tokens/second; each submitted job costs one token.  When the
+bucket cannot cover a request, :meth:`TokenBucket.try_acquire` returns the
+number of seconds until it could -- which becomes the ``Retry-After`` of
+the 429 response, so well-behaved clients back off by exactly the right
+amount instead of hammering.
+
+State is in-memory and per server process (documented in the README): in a
+multi-server deployment each server enforces the configured rate
+independently, so a tenant's effective ceiling is ``rate × servers``.
+That trade keeps the hot submit path free of cross-process coordination;
+the *in-flight* quota (``max_pending``), which must hold globally, is
+enforced in the store's submit transaction instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tenancy.registry import Tenant
+
+
+class ThrottledError(Exception):
+    """A submit was rejected by tenant policy: 429 + ``Retry-After``.
+
+    ``reason`` is ``"rate_limit"`` (token bucket empty) or ``"quota"``
+    (in-flight pending limit reached); ``retry_after`` is the seconds the
+    429 response should advertise.  ``accepted`` lists jobs of the same
+    POST that were enqueued *before* a mid-batch quota race tripped --
+    normally empty, because the whole batch is preflighted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float,
+        reason: str,
+        accepted: Optional[list] = None,
+    ):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+        self.accepted = accepted if accepted is not None else []
+
+
+class TokenBucket:
+    """One token bucket (thread-safe, monotonic-clock based)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take *tokens* if available; returns 0.0 on success, else the
+        seconds until the bucket could cover the request (nothing is taken).
+
+        A request larger than the bucket capacity can never succeed; it
+        reports the time to refill the whole bucket (callers should reject
+        such batches outright rather than retry).
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if tokens <= self._tokens:
+                self._tokens -= tokens
+                return 0.0
+            deficit = min(tokens, self.burst) - self._tokens
+            return deficit / self.rate
+
+    def available(self) -> float:
+        """Current token count (refilled to now); diagnostic only."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class TenantRateLimiter:
+    """Per-tenant buckets, built lazily from each tenant's configured policy.
+
+    A bucket is (re)built whenever the tenant's ``rate_limit``/``burst``
+    config changes, so ``tenant create``-time edits take effect without a
+    server restart (within the registry's resolution-cache TTL).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: tenant id -> ((rate, burst), bucket)
+        self._buckets: Dict[str, Tuple[Tuple[float, float], TokenBucket]] = {}
+
+    def check(self, tenant: "Tenant", tokens: float = 1.0) -> float:
+        """Charge *tokens* against *tenant*'s bucket.
+
+        Returns 0.0 when the submit may proceed, else the ``Retry-After``
+        seconds for the 429.  Tenants without a ``rate_limit`` are never
+        throttled here.
+        """
+        rate = tenant.rate_limit
+        if rate is None:
+            return 0.0
+        burst = tenant.effective_burst
+        assert burst is not None  # effective_burst is None only when rate is
+        config = (float(rate), float(burst))
+        with self._lock:
+            entry = self._buckets.get(tenant.id)
+            if entry is None or entry[0] != config:
+                bucket = TokenBucket(config[0], config[1], clock=self._clock)
+                self._buckets[tenant.id] = (config, bucket)
+            else:
+                bucket = entry[1]
+        return bucket.try_acquire(tokens)
+
+    def retry_after_header(self, seconds: float) -> str:
+        """``Retry-After`` header value: integral seconds, rounded up, >= 1."""
+        return str(max(1, int(-(-seconds // 1))))

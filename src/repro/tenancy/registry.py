@@ -1,0 +1,311 @@
+"""Tenant records and API-key authentication over the job store.
+
+A tenant row holds identity (name), credentials (salted-hashed API key),
+and policy (fair-share ``weight``, submit ``rate_limit``/``burst``, and the
+in-flight ``max_pending`` quota).  The registry never opens its own SQLite
+connection: it runs on :meth:`repro.server.store.JobStore.read_connection`
+/ :meth:`~repro.server.store.JobStore.write_transaction`, so tenant CRUD
+obeys exactly the same WAL + ``BEGIN IMMEDIATE`` rules as job traffic and
+works unchanged when several server processes share one store file.
+
+API keys are ``vk_<key_id>.<secret>``: ``key_id`` (8 hex chars) is stored
+in plaintext as the indexed lookup handle, the full key is stored only as
+``sha256(salt || key)``.  :meth:`TenantRegistry.resolve` therefore costs
+one indexed SELECT plus one hash, and a leaked store file leaks no usable
+credentials.  Resolutions are cached per process for a short TTL
+(``cache_ttl_seconds``), which bounds how long a revocation done on one
+server takes to propagate to its peers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> tenancy docs)
+    from repro.server.store import JobStore
+
+#: Key prefix; also doubles as a cheap format check before hitting the store.
+KEY_PREFIX = "vk_"
+
+#: The deterministic API key of the ``REPRO_TEST_AUTH=1`` bootstrap tenant.
+#: Overridable via ``REPRO_TEST_API_KEY``; never provisioned unless that
+#: test hook is active, so production stores cannot contain it by accident.
+DEFAULT_TEST_API_KEY = "vk_reprotest.0123456789abcdef0123456789abcdef"
+
+
+class AuthFailure(Exception):
+    """An HTTP-mappable authentication/authorization failure.
+
+    ``status`` is the HTTP code the front door should answer with:
+    401 (missing/malformed/unknown key) or 403 (revoked key).
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def parse_api_key(api_key: str) -> Optional[Tuple[str, str]]:
+    """Split ``vk_<key_id>.<secret>`` into ``(key_id, secret)``.
+
+    Returns ``None`` for anything malformed -- malformed keys must behave
+    exactly like unknown ones (401), never like a server error.
+    """
+    if not isinstance(api_key, str) or not api_key.startswith(KEY_PREFIX):
+        return None
+    body = api_key[len(KEY_PREFIX):]
+    key_id, sep, secret = body.partition(".")
+    if not sep or not key_id or not secret:
+        return None
+    return key_id, secret
+
+
+def _hash_key(salt: str, api_key: str) -> str:
+    return hashlib.sha256((salt + api_key).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant row (credentials reduced to the public ``key_id`` handle)."""
+
+    id: str
+    name: str
+    key_id: str
+    weight: float
+    rate_limit: Optional[float]  # submits/second; None = unlimited
+    burst: Optional[float]  # bucket capacity; None = max(1, rate_limit)
+    max_pending: Optional[int]  # queued+running quota; None = unlimited
+    revoked: bool
+    created_at: float
+
+    @property
+    def effective_burst(self) -> Optional[float]:
+        """Bucket capacity actually enforced (``None`` = not rate limited)."""
+        if self.rate_limit is None:
+            return None
+        if self.burst is not None:
+            return max(1.0, float(self.burst))
+        return max(1.0, float(self.rate_limit))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON view for ``tenant list`` and ``/v1/metrics`` (no secrets)."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "key_id": self.key_id,
+            "weight": self.weight,
+            "rate_limit": self.rate_limit,
+            "burst": self.burst,
+            "max_pending": self.max_pending,
+            "revoked": self.revoked,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def _from_row(cls, row: sqlite3.Row) -> "Tenant":
+        return cls(
+            id=row["id"],
+            name=row["name"],
+            key_id=row["key_id"],
+            weight=row["weight"],
+            rate_limit=row["rate_limit"],
+            burst=row["burst"],
+            max_pending=row["max_pending"],
+            revoked=bool(row["revoked"]),
+            created_at=row["created_at"],
+        )
+
+
+class TenantRegistry:
+    """Tenant CRUD + API-key resolution on top of a :class:`JobStore`."""
+
+    def __init__(self, store: "JobStore", cache_ttl_seconds: float = 1.0):
+        self._store = store
+        self.cache_ttl_seconds = max(0.0, cache_ttl_seconds)
+        self._cache_lock = threading.Lock()
+        #: api_key -> (expires_at_monotonic, Tenant)
+        self._cache: Dict[str, Tuple[float, Tenant]] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def create(
+        self,
+        name: str,
+        weight: float = 1.0,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        api_key: Optional[str] = None,
+        tenant_id: Optional[str] = None,
+    ) -> Tuple[Tenant, str]:
+        """Create a tenant; returns ``(tenant, api_key)``.
+
+        The plaintext key is returned exactly once, here -- only its salted
+        hash is stored.  ``api_key``/``tenant_id`` let callers pin the
+        credentials (the idempotent test-bootstrap path); normally both are
+        freshly generated.
+        """
+        name = (name or "").strip()
+        if not name:
+            raise ValueError("tenant name must be non-empty")
+        weight = float(weight)
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be > 0, got {weight}")
+        if rate_limit is not None and float(rate_limit) <= 0:
+            raise ValueError(f"rate_limit must be > 0, got {rate_limit}")
+        if burst is not None and float(burst) <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        if max_pending is not None and int(max_pending) <= 0:
+            raise ValueError(f"max_pending must be > 0, got {max_pending}")
+        if api_key is None:
+            api_key = "{}{}.{}".format(
+                KEY_PREFIX, secrets.token_hex(4), secrets.token_hex(16)
+            )
+        parsed = parse_api_key(api_key)
+        if parsed is None:
+            raise ValueError(
+                f"malformed api_key; expected '{KEY_PREFIX}<key_id>.<secret>'"
+            )
+        key_id = parsed[0]
+        salt = secrets.token_hex(8)
+        row_id = tenant_id if tenant_id is not None else uuid.uuid4().hex[:12]
+        try:
+            with self._store.write_transaction() as conn:
+                conn.execute(
+                    "INSERT INTO tenants (id, name, key_id, key_hash, key_salt,"
+                    " weight, rate_limit, burst, max_pending, revoked, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, 0, ?)",
+                    (
+                        row_id,
+                        name,
+                        key_id,
+                        _hash_key(salt, api_key),
+                        salt,
+                        weight,
+                        float(rate_limit) if rate_limit is not None else None,
+                        float(burst) if burst is not None else None,
+                        int(max_pending) if max_pending is not None else None,
+                        time.time(),
+                    ),
+                )
+                row = conn.execute(
+                    "SELECT * FROM tenants WHERE id = ?", (row_id,)
+                ).fetchone()
+        except sqlite3.IntegrityError as error:
+            raise ValueError(
+                f"tenant name/key/id already in use: {error}"
+            ) from error
+        return Tenant._from_row(row), api_key
+
+    def ensure(
+        self,
+        name: str,
+        api_key: str,
+        weight: float = 1.0,
+        tenant_id: Optional[str] = None,
+    ) -> Tenant:
+        """Idempotently make sure a tenant with *name*/*api_key* exists.
+
+        The ``REPRO_TEST_AUTH=1`` bootstrap: several servers sharing one
+        store may race to provision the same test tenant, and every one of
+        them must come out holding the same row.
+        """
+        existing = self.get(name)
+        if existing is not None:
+            return existing
+        try:
+            tenant, _ = self.create(
+                name, weight=weight, api_key=api_key, tenant_id=tenant_id
+            )
+            return tenant
+        except ValueError:
+            tenant = self.get(name)
+            if tenant is None:  # pragma: no cover - racing revoke+delete only
+                raise
+            return tenant
+
+    def revoke(self, name_or_id: str) -> Optional[Tenant]:
+        """Mark a tenant's key revoked; returns the updated row (or ``None``).
+
+        Revoked tenants keep their jobs and history but every request with
+        their key answers 403.  Peer servers see the revocation when their
+        resolution cache entry expires (``cache_ttl_seconds``).
+        """
+        with self._store.write_transaction() as conn:
+            cursor = conn.execute(
+                "UPDATE tenants SET revoked = 1 WHERE id = ? OR name = ?",
+                (name_or_id, name_or_id),
+            )
+            if cursor.rowcount == 0:
+                return None
+            row = conn.execute(
+                "SELECT * FROM tenants WHERE id = ? OR name = ?",
+                (name_or_id, name_or_id),
+            ).fetchone()
+        with self._cache_lock:
+            self._cache.clear()
+        return Tenant._from_row(row) if row is not None else None
+
+    # ----------------------------------------------------------------- reads
+
+    def get(self, name_or_id: str) -> Optional[Tenant]:
+        with self._store.read_connection() as conn:
+            row = conn.execute(
+                "SELECT * FROM tenants WHERE id = ? OR name = ?",
+                (name_or_id, name_or_id),
+            ).fetchone()
+        return Tenant._from_row(row) if row is not None else None
+
+    def list(self) -> List[Tenant]:
+        with self._store.read_connection() as conn:
+            rows = conn.execute(
+                "SELECT * FROM tenants ORDER BY created_at, name"
+            ).fetchall()
+        return [Tenant._from_row(row) for row in rows]
+
+    def resolve(self, api_key: str) -> Optional[Tenant]:
+        """The tenant a presented API key belongs to, or ``None``.
+
+        Malformed, unknown and wrong-secret keys all resolve to ``None``
+        (the caller answers 401 without distinguishing them); a revoked
+        tenant resolves to its row with ``revoked=True`` (403 material).
+        Successful resolutions are cached for ``cache_ttl_seconds``.
+        """
+        parsed = parse_api_key(api_key)
+        if parsed is None:
+            return None
+        if self.cache_ttl_seconds > 0:
+            now = time.monotonic()
+            with self._cache_lock:
+                hit = self._cache.get(api_key)
+                if hit is not None and hit[0] > now:
+                    return hit[1]
+        key_id = parsed[0]
+        with self._store.read_connection() as conn:
+            row = conn.execute(
+                "SELECT * FROM tenants WHERE key_id = ?", (key_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        expected = row["key_hash"]
+        presented = _hash_key(row["key_salt"], api_key)
+        if not hmac.compare_digest(expected, presented):
+            return None
+        tenant = Tenant._from_row(row)
+        if self.cache_ttl_seconds > 0:
+            with self._cache_lock:
+                self._cache[api_key] = (
+                    time.monotonic() + self.cache_ttl_seconds,
+                    tenant,
+                )
+                if len(self._cache) > 4096:  # unbounded only under key abuse
+                    self._cache.clear()
+        return tenant

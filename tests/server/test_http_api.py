@@ -16,6 +16,7 @@ import urllib.request
 
 import pytest
 
+from repro.client import auth_headers
 from repro.has.conditions import Const, Eq, Neq, NULL, Var
 from repro.ltl import LTLFOProperty, parse_ltl
 from repro.server import VerificationServer
@@ -31,7 +32,8 @@ def _request(url: str, method: str = "GET", payload=None):
     """(status, parsed JSON body) for one API call; errors don't raise."""
     data = json.dumps(payload).encode("utf-8") if payload is not None else None
     request = urllib.request.Request(
-        url, data=data, method=method, headers={"Content-Type": "application/json"}
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json", **auth_headers()},
     )
     try:
         with urllib.request.urlopen(request, timeout=30) as response:
@@ -228,7 +230,8 @@ class TestApi:
 class TestApiErrors:
     def test_malformed_json_body(self, server):
         request = urllib.request.Request(
-            f"{server.url}/jobs", data=b"{not json", method="POST"
+            f"{server.url}/jobs", data=b"{not json", method="POST",
+            headers=auth_headers(),
         )
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)

@@ -21,7 +21,7 @@ import urllib.request
 
 import pytest
 
-from repro.client import ClientError, VerifasClient
+from repro.client import ClientError, VerifasClient, auth_headers
 from repro.has.conditions import Const, Eq, Var
 from repro.ltl import LTLFOProperty, parse_ltl
 from repro.server import VerificationServer
@@ -249,7 +249,7 @@ class TestTwoServersSharedStore:
 def _read_sse(url, job_id, timeout=30.0, cursor=None, last_event_id=None):
     """Open the SSE stream and return its parsed frames (reads to EOF)."""
     query = f"?wait_ms=5000" + (f"&cursor={cursor}" if cursor is not None else "")
-    headers = {"Accept": "text/event-stream"}
+    headers = {"Accept": "text/event-stream", **auth_headers()}
     if last_event_id is not None:
         headers["Last-Event-ID"] = str(last_event_id)
     request = urllib.request.Request(f"{url}/v1/jobs/{job_id}/events{query}", headers=headers)
@@ -310,7 +310,7 @@ class TestServerSentEvents:
     def test_unknown_job_is_a_404_not_a_stream(self, idle_server):
         request = urllib.request.Request(
             f"{idle_server.url}/v1/jobs/no-such-job/events",
-            headers={"Accept": "text/event-stream"},
+            headers={"Accept": "text/event-stream", **auth_headers()},
         )
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
@@ -369,7 +369,7 @@ class TestEventCursorEdges:
 
         request = urllib.request.Request(
             f"{idle_server.url}/v1/jobs/{quote(hostile, safe='')}/events?wait_ms=10000",
-            headers={"Accept": "text/event-stream"},
+            headers={"Accept": "text/event-stream", **auth_headers()},
         )
         with pytest.raises(urllib.error.HTTPError) as sse_excinfo:
             urllib.request.urlopen(request, timeout=10)

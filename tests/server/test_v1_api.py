@@ -17,7 +17,7 @@ import urllib.request
 
 import pytest
 
-from repro.client import ClientError, RemoteJobError, VerifasClient
+from repro.client import ClientError, RemoteJobError, VerifasClient, auth_headers
 from repro.has.conditions import Const, Eq, Neq, Var
 from repro.ltl import LTLFOProperty, parse_ltl
 from repro.server import JobStore, VerificationServer
@@ -49,7 +49,8 @@ def _raw(url: str, method: str = "GET", payload=None):
     """(status, headers, parsed body) bypassing the client, for header checks."""
     data = json.dumps(payload).encode("utf-8") if payload is not None else None
     request = urllib.request.Request(
-        url, data=data, method=method, headers={"Content-Type": "application/json"}
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json", **auth_headers()},
     )
     with urllib.request.urlopen(request, timeout=30) as response:
         return response.status, dict(response.headers), json.load(response)
@@ -153,6 +154,51 @@ class TestV1Protocol:
         client = VerifasClient("http://127.0.0.1:9", timeout=0.5)
         with pytest.raises(ClientError, match="cannot reach"):
             client.healthz()
+
+
+class TestJobsListValidation:
+    """``GET /v1/jobs`` query validation: unknown ``status`` is always a
+    400 (even alongside ``?id=``), ``limit`` is validated and capped."""
+
+    def test_unknown_status_is_400(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.jobs(status="finished")
+        assert excinfo.value.status == 400
+        assert "unknown job status" in str(excinfo.value)
+
+    def test_unknown_status_with_ids_is_400_not_ignored(self, client, tiny_system):
+        handle = client.submit(
+            dump_system(tiny_system), [dump_property(_properties()[0])], options=OPTIONS
+        )[0]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _raw(f"{client.base_url}/v1/jobs?status=bogus&id={handle.id}")
+        assert excinfo.value.code == 400
+
+    def test_known_status_filters_the_ids_view(self, idle_server, tiny_system):
+        client = VerifasClient(idle_server.url, poll_initial=0.02)
+        handle = client.submit(
+            dump_system(tiny_system), [dump_property(_properties()[0])], options=OPTIONS
+        )[0]
+        status, _, body = _raw(
+            f"{idle_server.url}/v1/jobs?status=queued&id={handle.id}"
+        )
+        assert status == 200 and [j["id"] for j in body["jobs"]] == [handle.id]
+        status, _, body = _raw(
+            f"{idle_server.url}/v1/jobs?status=done&id={handle.id}"
+        )
+        assert status == 200 and body["jobs"] == []
+
+    def test_negative_limit_is_400(self, client):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _raw(f"{client.base_url}/v1/jobs?limit=-1")
+        assert excinfo.value.code == 400
+
+    def test_oversized_limit_is_clamped_not_an_error(self, client, tiny_system):
+        client.submit(
+            dump_system(tiny_system), [dump_property(_properties()[0])], options=OPTIONS
+        )
+        status, _, body = _raw(f"{client.base_url}/v1/jobs?limit=10000000")
+        assert status == 200 and len(body["jobs"]) >= 1
 
 
 # --------------------------------------------------------------- cancellation

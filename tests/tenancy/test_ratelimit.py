@@ -1,0 +1,116 @@
+"""Unit tests of the token bucket and per-tenant limiter (fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy import TenantRateLimiter, TokenBucket
+from repro.tenancy.registry import Tenant
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tenant(tenant_id="t1", rate_limit=None, burst=None) -> Tenant:
+    return Tenant(
+        id=tenant_id, name=tenant_id, key_id="deadbeef", weight=1.0,
+        rate_limit=rate_limit, burst=burst, max_pending=None,
+        revoked=False, created_at=0.0,
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.5)
+        assert bucket.try_acquire() == 0.0
+
+    def test_rejection_takes_nothing(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(1.0)
+        # Had the rejection consumed tokens, this would still be throttled.
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_oversized_request_reports_full_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        bucket.try_acquire(2.0)
+        # Asking for more than capacity can never succeed; the hint is the
+        # time to a full bucket, not infinity.
+        assert bucket.try_acquire(10.0) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("kwargs", [{"rate": 0.0}, {"rate": -1.0}, {"burst": 0.0}])
+    def test_invalid_config_rejected(self, kwargs):
+        config = {"rate": 1.0, "burst": 1.0}
+        config.update(kwargs)
+        with pytest.raises(ValueError):
+            TokenBucket(**config)
+
+
+class TestTenantRateLimiter:
+    def test_unlimited_tenant_never_throttles(self):
+        limiter = TenantRateLimiter(clock=FakeClock())
+        tenant = make_tenant(rate_limit=None)
+        assert all(limiter.check(tenant) == 0.0 for _ in range(1000))
+
+    def test_limited_tenant_throttles_with_retry_after(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(clock=clock)
+        tenant = make_tenant(rate_limit=2.0, burst=2.0)
+        assert limiter.check(tenant) == 0.0
+        assert limiter.check(tenant) == 0.0
+        assert limiter.check(tenant) == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert limiter.check(tenant) == 0.0
+
+    def test_batch_submit_charges_token_per_job(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(clock=clock)
+        tenant = make_tenant(rate_limit=1.0, burst=5.0)
+        assert limiter.check(tenant, tokens=5.0) == 0.0
+        assert limiter.check(tenant, tokens=1.0) == pytest.approx(1.0)
+
+    def test_buckets_are_per_tenant(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(clock=clock)
+        a = make_tenant("a", rate_limit=1.0, burst=1.0)
+        b = make_tenant("b", rate_limit=1.0, burst=1.0)
+        assert limiter.check(a) == 0.0
+        assert limiter.check(b) == 0.0  # b's bucket untouched by a's spend
+
+    def test_config_change_rebuilds_bucket(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(clock=clock)
+        assert limiter.check(make_tenant(rate_limit=1.0, burst=1.0)) == 0.0
+        assert limiter.check(make_tenant(rate_limit=1.0, burst=1.0)) > 0.0
+        # Same tenant id, new policy: the old (empty) bucket is discarded.
+        assert limiter.check(make_tenant(rate_limit=10.0, burst=10.0)) == 0.0
+
+    def test_retry_after_header_rounds_up_to_at_least_one(self):
+        limiter = TenantRateLimiter()
+        assert limiter.retry_after_header(0.01) == "1"
+        assert limiter.retry_after_header(1.0) == "1"
+        assert limiter.retry_after_header(1.2) == "2"
+        assert limiter.retry_after_header(7.0) == "7"

@@ -1,0 +1,134 @@
+"""Unit tests of :mod:`repro.tenancy.registry`: key format, hashing,
+resolution (including the TTL cache), revocation and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import JobStore
+from repro.tenancy import DEFAULT_TEST_API_KEY, TenantRegistry, parse_api_key
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "jobs.db")
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def registry(store):
+    return TenantRegistry(store)
+
+
+class TestKeyFormat:
+    def test_parse_round_trip(self):
+        assert parse_api_key("vk_abcd1234.secret") == ("abcd1234", "secret")
+        assert parse_api_key(DEFAULT_TEST_API_KEY) is not None
+
+    @pytest.mark.parametrize(
+        "bad", ["", "vk_", "vk_nodot", "vk_.nosecret", "vk_noid.", "pk_x.y", None, 42]
+    )
+    def test_malformed_keys_parse_to_none(self, bad):
+        assert parse_api_key(bad) is None
+
+
+class TestLifecycle:
+    def test_create_returns_key_once_and_stores_only_hash(self, store, registry):
+        tenant, api_key = registry.create("acme", weight=2.0, rate_limit=5.0)
+        assert api_key.startswith("vk_")
+        assert tenant.name == "acme" and tenant.weight == 2.0
+        with store.read_connection() as conn:
+            row = conn.execute("SELECT * FROM tenants WHERE id = ?", (tenant.id,)).fetchone()
+        assert api_key not in (row["key_hash"], row["key_salt"])
+        assert row["key_id"] == tenant.key_id  # lookup handle is plaintext
+
+    def test_resolve_known_unknown_and_wrong_secret(self, registry):
+        tenant, api_key = registry.create("acme")
+        resolved = registry.resolve(api_key)
+        assert resolved is not None and resolved.id == tenant.id
+        assert registry.resolve("vk_ffffffff.nope") is None
+        key_id = parse_api_key(api_key)[0]
+        assert registry.resolve(f"vk_{key_id}.wrongsecret") is None
+        assert registry.resolve("garbage") is None
+
+    def test_duplicate_name_rejected(self, registry):
+        registry.create("acme")
+        with pytest.raises(ValueError):
+            registry.create("acme")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"weight": -1.0},
+            {"rate_limit": 0.0},
+            {"burst": -2.0},
+            {"max_pending": 0},
+            {"api_key": "not-a-key"},
+        ],
+    )
+    def test_invalid_config_rejected(self, registry, kwargs):
+        with pytest.raises(ValueError):
+            registry.create("acme", **kwargs)
+
+    def test_blank_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.create("   ")
+
+    def test_revoked_tenant_resolves_with_flag(self, registry):
+        tenant, api_key = registry.create("acme")
+        assert registry.revoke("acme") is not None
+        resolved = registry.resolve(api_key)
+        # Not None: the caller must answer 403 (known key), not 401.
+        assert resolved is not None and resolved.revoked
+        assert registry.get(tenant.id).revoked
+
+    def test_revoke_unknown_returns_none(self, registry):
+        assert registry.revoke("ghost") is None
+
+    def test_get_by_name_or_id_and_list(self, registry):
+        tenant, _ = registry.create("acme")
+        registry.create("beta")
+        assert registry.get("acme").id == tenant.id
+        assert registry.get(tenant.id).name == "acme"
+        assert [t.name for t in registry.list()] == ["acme", "beta"]
+
+    def test_ensure_is_idempotent(self, registry):
+        first = registry.ensure("test", DEFAULT_TEST_API_KEY, tenant_id="test-id")
+        second = registry.ensure("test", DEFAULT_TEST_API_KEY, tenant_id="test-id")
+        assert first.id == second.id == "test-id"
+        assert registry.resolve(DEFAULT_TEST_API_KEY).id == "test-id"
+
+
+class TestResolutionCache:
+    def test_cache_serves_within_ttl_and_revoke_clears_it(self, store):
+        registry = TenantRegistry(store, cache_ttl_seconds=60.0)
+        _, api_key = registry.create("acme")
+        assert not registry.resolve(api_key).revoked  # primes the cache
+        # A *different* registry on the same store revokes; this registry's
+        # cache still serves the old row (the documented TTL window) ...
+        TenantRegistry(store).revoke("acme")
+        assert not registry.resolve(api_key).revoked
+        # ... but a registry that revoked locally sees it instantly.
+        registry.revoke("acme")
+        assert registry.resolve(api_key).revoked
+
+    def test_zero_ttl_disables_caching(self, store):
+        registry = TenantRegistry(store, cache_ttl_seconds=0.0)
+        _, api_key = registry.create("acme")
+        assert not registry.resolve(api_key).revoked
+        TenantRegistry(store).revoke("acme")
+        assert registry.resolve(api_key).revoked  # no stale cache
+
+
+class TestEffectiveBurst:
+    def test_burst_defaults_to_rate_and_floors_at_one(self, registry):
+        tenant, _ = registry.create("a", rate_limit=5.0)
+        assert tenant.effective_burst == 5.0
+        tenant, _ = registry.create("b", rate_limit=0.2)
+        assert tenant.effective_burst == 1.0  # floor: one whole submit
+        tenant, _ = registry.create("c", rate_limit=2.0, burst=7.0)
+        assert tenant.effective_burst == 7.0
+        tenant, _ = registry.create("d")
+        assert tenant.effective_burst is None  # unlimited
