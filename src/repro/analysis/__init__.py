@@ -1,0 +1,57 @@
+"""Static analysis of HAS* specifications and LTL-FO properties.
+
+``repro.analysis`` is the cheap static front-end of the verifier (the
+pre-search counterpart of the Section 3.7 constraint-graph analysis in
+:mod:`repro.core.static_analysis`, which works on flattened constraints
+*during* the search).  It produces
+
+* structured, severity-ranked :class:`Diagnostic` records with stable
+  ``VAxxx`` codes -- surfaced by ``python -m repro lint``, rejected at
+  ``POST /v1/jobs`` submit time (HTTP 422) when error-ranked, and persisted
+  on the job row when warning-ranked -- and
+* a :class:`StaticFacts` summary (statically reachable tasks, constant
+  bindings, trivially-decided property verdicts) that the verifier consumes
+  as a pre-search pruning pass under the ``VerifierOptions.static_pruning``
+  kill-switch.
+
+Every pruning fact is *sound*: a task is only reported statically closed
+when its opening guard is unsatisfiable under plain equality reasoning
+(see :func:`statically_unsatisfiable`), so skipping it cannot change any
+verdict -- audited by a differential test against the unpruned search.
+"""
+
+from repro.analysis.diagnostics import (
+    CODE_NAMES,
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    SpecRejectedError,
+    sort_diagnostics,
+)
+from repro.analysis.analyzer import (
+    AnalysisReport,
+    StaticFacts,
+    analyze,
+    analyze_property,
+    analyze_system,
+    compute_static_facts,
+)
+from repro.analysis.satisfiability import statically_unsatisfiable
+
+__all__ = [
+    "AnalysisReport",
+    "CODE_NAMES",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "SpecRejectedError",
+    "StaticFacts",
+    "WARNING",
+    "analyze",
+    "analyze_property",
+    "analyze_system",
+    "compute_static_facts",
+    "sort_diagnostics",
+    "statically_unsatisfiable",
+]

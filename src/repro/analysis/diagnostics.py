@@ -1,0 +1,117 @@
+"""Structured diagnostics with stable ``VAxxx`` codes.
+
+The code space is partitioned by the hundreds digit:
+
+* ``VA1xx`` -- property / spec cross-reference **errors** (the spec cannot
+  be verified as written; the verifier would raise or crash mid-search);
+* ``VA2xx`` -- statically dead conditions (**warnings**: the spec is
+  verifiable but contains services that can never fire);
+* ``VA3xx`` -- task-graph reachability (**warnings**);
+* ``VA4xx`` -- property hygiene (**warnings**: vacuous quantifiers,
+  constant formulas, unused condition interpretations);
+* ``VA5xx`` -- unused declarations and suspicious services (**warnings**).
+
+Codes are part of the public contract: ``python -m repro lint --json``, the
+422 submit-rejection body and the per-code server metrics all key on them,
+so a code is never renumbered or reused once released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence
+
+#: Severity levels, most severe first (the sort order of reports).
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: Stable code -> short kebab-case name.  Append-only.
+CODE_NAMES: Dict[str, str] = {
+    "VA101": "undefined-variable",
+    "VA102": "unknown-task",
+    "VA103": "unknown-relation",
+    "VA104": "relation-arity-mismatch",
+    "VA105": "unknown-service",
+    "VA203": "unsatisfiable-precondition",
+    "VA301": "unreachable-task",
+    "VA401": "unbound-property-variable",
+    "VA402": "trivial-property",
+    "VA403": "unused-condition",
+    "VA501": "unused-variable",
+    "VA502": "unused-relation",
+    "VA503": "constant-only-service",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``where`` is a human-readable object path inside the spec, e.g.
+    ``"task 'Order' / service 'ship' pre-condition"`` or
+    ``"property 'safety' / condition 'done'"``.
+    """
+
+    code: str
+    severity: str
+    message: str
+    where: str = ""
+
+    @property
+    def name(self) -> str:
+        """The stable kebab-case name of the code."""
+        return CODE_NAMES.get(self.code, self.code.lower())
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def sort_key(self):
+        return (_SEVERITY_RANK.get(self.severity, 99), self.code, self.where, self.message)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form (the lint CLI output and the 422 body)."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity,
+            "message": self.message,
+            "where": self.where,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            code=str(data.get("code", "")),
+            severity=str(data.get("severity", WARNING)),
+            message=str(data.get("message", "")),
+            where=str(data.get("where", "")),
+        )
+
+    def render(self) -> str:
+        """One-line human form (the lint CLI text output)."""
+        location = f" [{self.where}]" if self.where else ""
+        return f"{self.code} {self.severity:7s} {self.message}{location}"
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Severity-ranked, deterministic ordering (errors first)."""
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+class SpecRejectedError(ValueError):
+    """A spec was rejected because static analysis found error-severity
+    diagnostics.  Raised by the submit path; mapped to HTTP 422 with the
+    diagnostics as the response body."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics: List[Diagnostic] = sort_diagnostics(
+            [d for d in diagnostics if d.is_error]
+        ) or sort_diagnostics(list(diagnostics))
+        codes = ", ".join(
+            sorted({d.code for d in self.diagnostics if d.is_error})
+        )
+        super().__init__(f"spec rejected by static analysis ({codes})")

@@ -1,0 +1,87 @@
+"""Sound static unsatisfiability of quantifier-free FO conditions.
+
+:func:`statically_unsatisfiable` decides a *sound under-approximation* of
+unsatisfiability: it returns ``True`` only when the condition is genuinely
+unsatisfiable under the equality theory the symbolic search itself
+implements (distinct constants are distinct; equality is a congruence).
+That soundness is what makes the verifier's ``static_pruning`` pass
+verdict-preserving: a child task whose opening guard is statically
+unsatisfiable produces no symbolic moves anyway, so skipping it cannot
+change the explored state space.
+
+The check works per DNF disjunct with a small union-find:
+
+* an empty DNF (structural ``false``) is unsatisfiable;
+* a disjunct is contradictory when its ``=`` literals merge two distinct
+  constants into one equivalence class, or a ``!=`` literal relates two
+  terms already in the same class.
+
+Deliberately *not* used: the null-semantics of relational atoms
+(``R(..., null, ...)`` is false at run time) and any relation-level
+reasoning -- those involve machinery beyond plain equality, so flagging
+them here could disagree with the symbolic evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.has.conditions import Condition, Const, Eq, Neq, Term, Var
+
+
+def _term_key(term: Term) -> Hashable:
+    if isinstance(term, Var):
+        return ("var", term.name)
+    return ("const", term.value)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+
+    def find(self, item: Hashable) -> Hashable:
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        self._parent[self.find(a)] = self.find(b)
+
+
+def _disjunct_contradictory(literals: Sequence) -> bool:
+    """Whether one DNF conjunct is contradictory under equality reasoning."""
+    uf = _UnionFind()
+    disequalities: List[Tuple[Hashable, Hashable]] = []
+    for literal in literals:
+        if isinstance(literal, Eq):
+            uf.union(_term_key(literal.left), _term_key(literal.right))
+        elif isinstance(literal, Neq):
+            disequalities.append((_term_key(literal.left), _term_key(literal.right)))
+    # Two distinct constants in one equivalence class.
+    constant_of: Dict[Hashable, Const] = {}
+    for literal in literals:
+        if not isinstance(literal, (Eq, Neq)):
+            continue
+        for term in (literal.left, literal.right):
+            if isinstance(term, Const):
+                root = uf.find(_term_key(term))
+                seen = constant_of.get(root)
+                if seen is not None and seen.value != term.value:
+                    return True
+                constant_of[root] = term
+    # A disequality whose sides were merged by the equalities.
+    for left, right in disequalities:
+        if uf.find(left) == uf.find(right):
+            return True
+    return False
+
+
+def statically_unsatisfiable(condition: Condition) -> bool:
+    """``True`` only if *condition* provably has no satisfying valuation."""
+    disjuncts = condition.dnf()
+    if not disjuncts:
+        return True
+    return all(_disjunct_contradictory(d) for d in disjuncts)

@@ -6,6 +6,10 @@ Examples::
     # LTL-FO properties attached):
     python -m repro export-spec order-fulfillment -o order.spec.json --with-properties 6
 
+    # Statically analyse a spec without verifying it (exit 1 on errors --
+    # the same specs the server rejects at submit time with HTTP 422):
+    python -m repro lint order.spec.json --json
+
     # Verify one property (or all properties) of a spec file:
     python -m repro verify order.spec.json --property always
     python -m repro verify order.spec.json --workers 4
@@ -57,6 +61,11 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
         "--no-repeated-reachability", action="store_true",
         help="reachability-only mode (skip the repeated-reachability phase)",
     )
+    parser.add_argument(
+        "--no-static-pruning", action="store_true", dest="no_static_pruning",
+        help="disable the repro.analysis pre-search pruning pass (kill switch;"
+             " equivalent to REPRO_STATIC_PRUNING=0 on the server)",
+    )
 
 
 def _options_from(args: argparse.Namespace) -> VerifierOptions:
@@ -67,6 +76,8 @@ def _options_from(args: argparse.Namespace) -> VerifierOptions:
         options = options.with_(max_states=args.max_states)
     if args.no_repeated_reachability:
         options = options.with_(check_repeated_reachability=False)
+    if args.no_static_pruning:
+        options = options.with_(static_pruning=False)
     return options
 
 
@@ -190,6 +201,35 @@ def _run_remote_batch(args: argparse.Namespace, jobs) -> int:
     report = BatchReport(job_results)
     _print_report(report, args.json)
     return _exit_code_for(report)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis without verification.
+
+    Exit codes mirror the verify contract: 0 when the spec is clean or has
+    warnings only, 1 when any error-severity diagnostic fires (such a spec is
+    rejected at submit time with HTTP 422), 2 when the spec cannot be loaded
+    at all.
+    """
+    from repro.analysis import analyze
+
+    # validate=False: a property referencing an unknown task/relation must
+    # surface as VA-coded diagnostics here, not as the load-time SpecError
+    # that protects every other entry point.
+    bundle = load_spec(args.spec, validate=False)
+    report = analyze(bundle.system, bundle.properties)
+    if args.json:
+        json.dump(report.as_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 1 if report.has_errors else 0
+    for diagnostic in report.diagnostics:
+        print(diagnostic.render())
+    errors, warnings = len(report.errors), len(report.warnings)
+    print(
+        f"{args.spec}: {errors} error(s), {warnings} warning(s) -- "
+        f"{len(bundle.system.task_names)} task(s), {len(bundle.properties)} propert(ies)"
+    )
+    return 1 if report.has_errors else 0
 
 
 def _cmd_export_spec(args: argparse.Namespace) -> int:
@@ -408,6 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_option_flags(batch)
     batch.set_defaults(handler=_cmd_batch)
+
+    lint = subparsers.add_parser(
+        "lint", help="statically analyse a spec file without verifying it"
+    )
+    lint.add_argument("spec", help="path to a spec file (.json / .yaml)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable output (diagnostics + static facts)")
+    lint.set_defaults(handler=_cmd_lint)
 
     export = subparsers.add_parser(
         "export-spec", help="export a built-in real-world workflow as a spec file"

@@ -32,6 +32,7 @@ from repro.client.http import (
     ClientError,
     JobHandle,
     RemoteJobError,
+    SpecRejectedError,
     VerifasClient,
     auth_headers,
     build_submit_payload,
@@ -43,6 +44,7 @@ __all__ = [
     "ClientError",
     "JobHandle",
     "RemoteJobError",
+    "SpecRejectedError",
     "VerifasClient",
     "auth_headers",
     "build_submit_payload",

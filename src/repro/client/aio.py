@@ -38,6 +38,7 @@ from repro.client.http import (
     ClientError,
     JobHandle,
     RemoteJobError,
+    SpecRejectedError,
     build_submit_payload,
     default_api_key,
 )
@@ -211,7 +212,8 @@ class AsyncVerifasClient:
                         retry_after = max(0.0, float(headers["retry-after"]))
                     except ValueError:
                         pass
-                raise ClientError(
+                kind = SpecRejectedError if status == 422 else ClientError
+                raise kind(
                     body.get("error", f"HTTP {status} on {method} {path}"),
                     status=status,
                     body=body,

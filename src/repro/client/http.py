@@ -94,6 +94,21 @@ class RemoteJobError(ClientError):
     """A waited-on job finished in the ``error`` lifecycle state."""
 
 
+class SpecRejectedError(ClientError):
+    """The server's static analysis rejected the submitted spec (HTTP 422).
+
+    ``diagnostics`` carries the error-severity records from the response
+    body: a list of dicts with stable ``code`` (``VAxxx``), ``severity``,
+    ``message`` and ``where`` keys -- the same shape ``python -m repro lint
+    --json`` emits, so one remediation path serves both.
+    """
+
+    @property
+    def diagnostics(self) -> List[Dict[str, Any]]:
+        diagnostics = self.body.get("diagnostics")
+        return list(diagnostics) if isinstance(diagnostics, list) else []
+
+
 @dataclass(frozen=True)
 class JobHandle:
     """One accepted job, as returned by ``POST /v1/jobs``."""
@@ -239,7 +254,8 @@ class VerifasClient:
                     throttle_budget -= retry_after
                     time.sleep(retry_after)
                     continue
-                raise ClientError(
+                kind = SpecRejectedError if error.code == 422 else ClientError
+                raise kind(
                     body.get("error", f"HTTP {error.code} on {method} {path}"),
                     status=error.code,
                     body=body,

@@ -53,6 +53,15 @@ class VerifierOptions:
     #: exists so the audit can force the classic path and so the fast path can
     #: be disabled in the field without a code change.
     repeated_violation_fast_path: bool = True
+    #: The pre-search pruning pass fed by :mod:`repro.analysis` static facts:
+    #: children whose opening guard is statically unsatisfiable are skipped
+    #: during successor generation, and trivially-decided properties
+    #: short-circuit before the Karp-Miller search.  Every consumed fact is a
+    #: sound under-approximation (see ``repro.analysis.satisfiability``), so
+    #: verdicts are identical with the pass on or off -- audited by a
+    #: differential test; the switch lets the audit (and the field, via
+    #: ``REPRO_STATIC_PRUNING=0``) force the unpruned search.
+    static_pruning: bool = True
 
     #: Hard limit on the number of product states the search may materialise.
     max_states: int = 200_000
@@ -82,6 +91,8 @@ class VerifierOptions:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         if data["repeated_violation_fast_path"] is True:
             del data["repeated_violation_fast_path"]
+        if data["static_pruning"] is True:
+            del data["static_pruning"]
         return data
 
     @classmethod

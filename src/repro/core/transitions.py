@@ -22,7 +22,7 @@ verification, the successors of a partial symbolic instance under
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.expressions import ExpressionUniverse
 from repro.core.flatten import flatten_condition
@@ -36,6 +36,9 @@ from repro.has.services import Insert, InternalService, Retrieve
 from repro.has.runs import TERMINATED_SERVICE
 from repro.ltl.ltlfo import LTLFOProperty
 from repro.vass.vass import OMEGA
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis is a sibling layer)
+    from repro.analysis.analyzer import StaticFacts
 
 #: Pseudo-child key marking that the verified task has executed its closing service.
 CLOSED_MARKER = "__closed__"
@@ -58,12 +61,34 @@ class SymbolicTransitionSystem:
         task_name: str,
         ltl_property: Optional[LTLFOProperty] = None,
         options: Optional[VerifierOptions] = None,
+        static_facts: Optional["StaticFacts"] = None,
     ):
         self.system = system
         self.task_name = task_name
         self.task = system.task(task_name)
         self.options = options or VerifierOptions()
         self.ltl_property = ltl_property
+
+        # Pre-search pruning (repro.analysis): children whose opening guard is
+        # statically unsatisfiable produce no symbolic moves anyway, so their
+        # opening loop is skipped entirely.  Sound by construction -- the
+        # unsat check under-approximates exactly the equality reasoning of
+        # the iso-type machinery -- hence verdict-preserving.
+        self._statically_closed_children: FrozenSet[str] = frozenset()
+        if self.options.static_pruning:
+            if static_facts is not None:
+                unsat = set(static_facts.unsat_opening_tasks)
+            else:
+                from repro.analysis.satisfiability import statically_unsatisfiable
+
+                unsat = {
+                    child
+                    for child in system.children_of(task_name)
+                    if statically_unsatisfiable(system.opening_service(child).pre)
+                }
+            self._statically_closed_children = frozenset(
+                child for child in system.children_of(task_name) if child in unsat
+            )
 
         # The expression universe of the task: its variables plus the global
         # variables of the property (rigid, propagated by every transition).
@@ -308,6 +333,8 @@ class SymbolicTransitionSystem:
     def _child_opening_moves(self, psi: PSI) -> List[SymbolicMove]:
         moves: List[SymbolicMove] = []
         for child in self.system.children_of(self.task_name):
+            if child in self._statically_closed_children:
+                continue
             if psi.child_active(child):
                 continue
             opening = self.system.opening_service(child)

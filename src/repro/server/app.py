@@ -49,6 +49,12 @@ import uuid
 from http.server import ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.analysis import (
+    SpecRejectedError,
+    analyze_property,
+    analyze_system,
+    sort_diagnostics,
+)
 from repro.core.control import (
     CancellationToken,
     PhaseTimer,
@@ -320,6 +326,15 @@ class VerificationServer:
             events=self.events,
         )
         self.cache = StoreBackedCache(self.store, ResultCache(max_entries=cache_entries))
+        static_env = os.environ.get("REPRO_STATIC_PRUNING", "").strip().lower()
+        if static_env:
+            # Deployment kill-switch for the repro.analysis pre-search
+            # pruning pass: REPRO_STATIC_PRUNING=0 forces the unpruned
+            # search, =1 forces it on, overriding the constructed defaults
+            # (mirrors REPRO_TRACE; per-job `options` still win).
+            default_options = (default_options or VerifierOptions()).with_(
+                static_pruning=static_env not in ("0", "false", "no")
+            )
         self.service = VerificationService(
             cache=self.cache, default_options=default_options
         )
@@ -854,7 +869,8 @@ class VerificationServer:
         system_data = payload.get("system")
         if system_data is None:
             raise SpecError("job payload has no 'system' section")
-        system_dict = dump_system(load_system(system_data))
+        system = load_system(system_data)
+        system_dict = dump_system(system)
 
         if "property" in payload and "properties" in payload:
             raise SpecError("job payload has both 'property' and 'properties'")
@@ -866,6 +882,39 @@ class VerificationServer:
                 raise SpecError(
                     "job payload needs a 'property' object or a non-empty 'properties' list"
                 )
+        loaded_properties = [load_property(p) for p in property_list]
+
+        # Static analysis gate (see repro.analysis): error-severity
+        # diagnostics fast-fail the whole POST as 422 before any job row is
+        # written -- a rejected spec never reaches the queue, so it can never
+        # claim a worker.  Warning-severity diagnostics ride along on the
+        # accepted job rows (system-wide ones on every job, property ones on
+        # the job verifying that property) and surface in the job view.
+        system_diagnostics, _ = analyze_system(system)
+        property_diagnostics = [
+            analyze_property(system, p) for p in loaded_properties
+        ]
+        errors = [
+            d
+            for diagnostics in [system_diagnostics] + property_diagnostics
+            for d in diagnostics
+            if d.is_error
+        ]
+        if errors:
+            self.metrics.increment("specs_rejected")
+            for code in sorted({d.code for d in errors}):
+                self.metrics.increment(f"specs_rejected_{code.lower()}")
+            raise SpecRejectedError(errors)
+        system_warnings = [d for d in system_diagnostics if not d.is_error]
+        job_warnings = [
+            [
+                d.as_dict()
+                for d in sort_diagnostics(
+                    system_warnings + [d for d in diagnostics if not d.is_error]
+                )
+            ]
+            for diagnostics in property_diagnostics
+        ]
 
         options_data = payload.get("options")
         if options_data is None:
@@ -909,11 +958,11 @@ class VerificationServer:
         jobs = [
             VerificationJob(
                 system_dict=system_dict,
-                property_dict=dump_property(load_property(property_data)),
+                property_dict=dump_property(loaded_property),
                 options_dict=options_dict,
                 label=label,
             )
-            for property_data in property_list
+            for loaded_property in loaded_properties
         ]
         if trace_id is None and self.tracer.enabled:
             trace_id = new_trace_id()
@@ -958,7 +1007,7 @@ class VerificationServer:
                         reason="quota",
                     )
         accepted = []
-        for job in jobs:
+        for job, warnings in zip(jobs, job_warnings):
             try:
                 stored = self.store.submit(
                     job,
@@ -972,6 +1021,7 @@ class VerificationServer:
                     pending_limit=(
                         tenant.max_pending if tenant is not None else None
                     ),
+                    warnings=warnings or None,
                 )
             except PendingQuotaExceeded as error:
                 # A racing submitter consumed the preflighted headroom
@@ -1013,6 +1063,8 @@ class VerificationServer:
             }
             if trace_id is not None:
                 entry["trace_id"] = trace_id
+            if warnings:
+                entry["warnings"] = warnings
             accepted.append(entry)
         self._wakeup.set()
         return {"jobs": accepted}

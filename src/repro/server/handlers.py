@@ -56,6 +56,9 @@ Handlers are deliberately thin: they parse the request, call the matching
 view on the owning :class:`~repro.server.app.VerificationServer`, and encode
 the response.  Malformed payloads map to 400, unknown resources to 404,
 anything unexpected to 500 -- always as ``{"error": ...}`` JSON bodies.
+Well-formed payloads whose *spec* fails static analysis (see
+:mod:`repro.analysis`) map to 422 with the error diagnostics in the body;
+no job row is written, so a rejected spec never claims a worker.
 """
 
 from __future__ import annotations
@@ -68,6 +71,7 @@ from http.server import BaseHTTPRequestHandler
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote
 
+from repro.analysis import SpecRejectedError
 from repro.has.artifact_system import SpecificationError
 from repro.obs import parse_traceparent
 from repro.server.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
@@ -219,6 +223,18 @@ class ApiHandler(BaseHTTPRequestHandler):
                     body["jobs"] = error.accepted
                 header = self.app.rate_limiter.retry_after_header(error.retry_after)
                 return self._send(429, body, extra_headers={"Retry-After": header})
+            except SpecRejectedError as error:
+                # Must precede the generic ladder below: SpecRejectedError
+                # subclasses ValueError.  422 (not 400): the payload is
+                # well-formed, the *spec it describes* is statically broken.
+                span.set_error(f"spec rejected: {error}")
+                return self._send(
+                    422,
+                    {
+                        "error": str(error),
+                        "diagnostics": [d.as_dict() for d in error.diagnostics],
+                    },
+                )
             except (
                 SpecError, SpecificationError, ValueError, TypeError, KeyError
             ) as error:

@@ -150,6 +150,9 @@ class ServerMetrics:
             "auth_failures": 0,
             "tenant_throttled": 0,
             "quota_exceeded": 0,
+            # Submissions rejected by the static analysis gate (HTTP 422);
+            # per-code shadows appear as specs_rejected_va1xx on first use.
+            "specs_rejected": 0,
         }
         #: Per-tenant shadows of the counters above, keyed by tenant id --
         #: populated only for tenant-attributed events/rejections, so an

@@ -140,6 +140,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     parent_span      TEXT,
     tenant_id        TEXT,
     priority         INTEGER NOT NULL DEFAULT 0,
+    warnings_json    TEXT,
     system_json      TEXT NOT NULL,
     property_json    TEXT NOT NULL,
     options_json     TEXT NOT NULL
@@ -266,6 +267,10 @@ class StoredJob:
     #: (higher first; fairness *between* tenants is weight-based instead).
     tenant_id: Optional[str] = None
     priority: int = 0
+    #: Warning-severity diagnostics from the submit-time static analysis
+    #: pass (see :mod:`repro.analysis`); error-severity ones reject the
+    #: whole submission with 422 before any row is written.
+    warnings: Optional[List[Dict[str, Any]]] = None
 
     def to_job(self) -> VerificationJob:
         """The engine-level job this row was built from."""
@@ -306,6 +311,8 @@ class StoredJob:
             data["tenant_id"] = self.tenant_id
         if self.priority:
             data["priority"] = self.priority
+        if self.warnings:
+            data["warnings"] = self.warnings
         if result is not None:
             data["result"] = result
         elif self.partial_result is not None:
@@ -343,6 +350,9 @@ class StoredJob:
             parent_span=row["parent_span"],
             tenant_id=row["tenant_id"],
             priority=row["priority"],
+            warnings=(
+                json.loads(row["warnings_json"]) if row["warnings_json"] else None
+            ),
         )
 
 
@@ -626,6 +636,7 @@ class JobStore:
                     ("parent_span", "TEXT"),
                     ("tenant_id", "TEXT"),
                     ("priority", "INTEGER NOT NULL DEFAULT 0"),
+                    ("warnings_json", "TEXT"),
                 ):
                     if name not in columns:
                         connection.execute(
@@ -675,6 +686,7 @@ class JobStore:
         tenant_id: Optional[str] = None,
         priority: int = 0,
         pending_limit: Optional[int] = None,
+        warnings: Optional[List[Dict[str, Any]]] = None,
     ) -> StoredJob:
         """Persist *job* as ``queued`` and return its stored form (with id).
 
@@ -720,8 +732,8 @@ class JobStore:
                         "INSERT INTO jobs (id, fingerprint, system_name, property_name,"
                         " label, status, cache_hit, ttl_seconds, deadline_ms,"
                         " submitted_at, trace_id, parent_span, tenant_id, priority,"
-                        " system_json, property_json, options_json)"
-                        " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        " warnings_json, system_json, property_json, options_json)"
+                        " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                         (
                             job_id,
                             job.fingerprint,
@@ -735,6 +747,7 @@ class JobStore:
                             parent_span,
                             tenant_id,
                             int(priority),
+                            json.dumps(warnings) if warnings else None,
                             json.dumps(job.system_dict),
                             json.dumps(job.property_dict),
                             json.dumps(job.options_dict),

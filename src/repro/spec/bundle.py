@@ -81,7 +81,7 @@ class SpecBundle:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "SpecBundle":
+    def from_dict(cls, data: Mapping[str, Any], validate: bool = True) -> "SpecBundle":
         if not isinstance(data, Mapping):
             raise SpecError(f"spec document must be a mapping, got {type(data).__name__}")
         version = data.get("schema_version", 1)
@@ -90,10 +90,11 @@ class SpecBundle:
         system_data = data.get("system")
         if system_data is None:
             raise SpecError("spec document has no 'system' section")
-        return cls(
-            system=load_system(system_data),
-            properties=[load_property(p) for p in data.get("properties", ())],
-        )
+        system = load_system(system_data)
+        properties = [load_property(p) for p in data.get("properties", ())]
+        if validate:
+            _cross_validate_properties(system, properties)
+        return cls(system=system, properties=properties)
 
     # ------------------------------------------------------------------ text
 
@@ -107,7 +108,7 @@ class SpecBundle:
         raise SpecError(f"unknown spec format {format!r} (expected 'json' or 'yaml')")
 
     @classmethod
-    def loads(cls, text: str, format: str = "json") -> "SpecBundle":
+    def loads(cls, text: str, format: str = "json", validate: bool = True) -> "SpecBundle":
         if format == "json":
             try:
                 data = json.loads(text)
@@ -122,7 +123,7 @@ class SpecBundle:
                 raise SpecError(f"malformed YAML spec document: {error}") from None
         else:
             raise SpecError(f"unknown spec format {format!r} (expected 'json' or 'yaml')")
-        return cls.from_dict(data)
+        return cls.from_dict(data, validate=validate)
 
     # ------------------------------------------------------------------ files
 
@@ -134,11 +135,33 @@ class SpecBundle:
             handle.write(text)
 
     @classmethod
-    def load(cls, path: Union[str, os.PathLike], format: Optional[str] = None) -> "SpecBundle":
+    def load(
+        cls,
+        path: Union[str, os.PathLike],
+        format: Optional[str] = None,
+        validate: bool = True,
+    ) -> "SpecBundle":
         """Read a bundle from *path*; the format is inferred from the extension."""
         format = format or _format_for(path)
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.loads(handle.read(), format)
+            return cls.loads(handle.read(), format, validate=validate)
+
+
+def _cross_validate_properties(system: ArtifactSystem, properties: Sequence[LTLFOProperty]) -> None:
+    """Reject properties that reference tasks or relations absent from the
+    system -- precisely at load time, instead of as a deep KeyError half-way
+    through the search.  Only the would-crash codes are load-fatal; the other
+    analyzer findings stay advisory (``python -m repro lint``) or are caught
+    by the verifier's own setup validation with equally precise messages."""
+    from repro.analysis.analyzer import analyze_property
+
+    messages = []
+    for ltl_property in properties:
+        for diagnostic in analyze_property(system, ltl_property):
+            if diagnostic.code in ("VA102", "VA103", "VA104"):
+                messages.append(f"{diagnostic.code}: {diagnostic.message}")
+    if messages:
+        raise SpecError("spec document is inconsistent: " + "; ".join(messages))
 
 
 def _format_for(path: Union[str, os.PathLike]) -> str:
@@ -161,6 +184,15 @@ def save_spec(
     SpecBundle(system, list(properties)).save(path, format)
 
 
-def load_spec(path: Union[str, os.PathLike], format: Optional[str] = None) -> SpecBundle:
-    """Read a spec file into a :class:`SpecBundle`."""
-    return SpecBundle.load(path, format)
+def load_spec(
+    path: Union[str, os.PathLike],
+    format: Optional[str] = None,
+    validate: bool = True,
+) -> SpecBundle:
+    """Read a spec file into a :class:`SpecBundle`.
+
+    With ``validate=False`` the cross-reference checks are skipped so tooling
+    (notably ``python -m repro lint``) can load a broken spec and report the
+    full analyzer diagnostics instead of the first fatal error.
+    """
+    return SpecBundle.load(path, format, validate=validate)

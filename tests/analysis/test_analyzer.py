@@ -1,0 +1,175 @@
+"""Unit tests of :mod:`repro.analysis`: the sound unsatisfiability checker,
+the static facts, and the report/diagnostic plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    SpecRejectedError,
+    analyze,
+    analyze_property,
+    compute_static_facts,
+    statically_unsatisfiable,
+)
+from repro.analysis.diagnostics import Diagnostic, sort_diagnostics
+from repro.has.builder import ArtifactSystemBuilder
+from repro.has.conditions import (
+    And,
+    Const,
+    Eq,
+    FalseCond,
+    Neq,
+    NULL,
+    Not,
+    Or,
+    TrueCond,
+    Var,
+)
+from repro.has.schema import DatabaseSchema
+from repro.ltl import LTLFOProperty, parse_ltl
+
+
+# ------------------------------------------------------------- satisfiability
+
+
+class TestStaticallyUnsatisfiable:
+    def test_structural_false(self):
+        assert statically_unsatisfiable(FalseCond())
+        assert statically_unsatisfiable(And(TrueCond(), FalseCond()))
+
+    def test_true_and_plain_atoms_are_satisfiable(self):
+        assert not statically_unsatisfiable(TrueCond())
+        assert not statically_unsatisfiable(Eq(Var("x"), Const("a")))
+        assert not statically_unsatisfiable(Neq(Var("x"), Const("a")))
+
+    def test_two_constants_on_one_variable(self):
+        condition = And(Eq(Var("x"), Const("a")), Eq(Var("x"), Const("b")))
+        assert statically_unsatisfiable(condition)
+
+    def test_equal_constants_are_consistent(self):
+        condition = And(Eq(Var("x"), Const("a")), Eq(Var("x"), Const("a")))
+        assert not statically_unsatisfiable(condition)
+
+    def test_neq_inside_equality_class(self):
+        condition = And(Eq(Var("x"), Var("y")), Neq(Var("x"), Var("y")))
+        assert statically_unsatisfiable(condition)
+
+    def test_neq_through_transitive_chain(self):
+        condition = And(
+            And(Eq(Var("x"), Var("y")), Eq(Var("y"), Var("z"))),
+            Neq(Var("x"), Var("z")),
+        )
+        assert statically_unsatisfiable(condition)
+
+    def test_disjunction_needs_every_branch_dead(self):
+        dead = And(Eq(Var("x"), Const("a")), Eq(Var("x"), Const("b")))
+        alive = Eq(Var("x"), Const("a"))
+        assert statically_unsatisfiable(Or(dead, And(dead, TrueCond())))
+        assert not statically_unsatisfiable(Or(dead, alive))
+
+    def test_negation_is_normalised_before_the_check(self):
+        # !(x != a) & x = b  ==>  x = a & x = b  ==> dead
+        condition = And(Not(Neq(Var("x"), Const("a"))), Eq(Var("x"), Const("b")))
+        assert statically_unsatisfiable(condition)
+
+
+# ---------------------------------------------------------------- static facts
+
+
+def _system_with_dead_child():
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder("facts", schema)
+    root = builder.task("Main")
+    root.id_variable("item", "ITEMS")
+    root.variable("status")
+    root.internal_service(
+        "go", pre=Eq(Var("status"), NULL), post=Eq(Var("status"), Const("done"))
+    )
+    child = builder.task("Dead", parent="Main")
+    child.variable("cstatus")
+    child.internal_service(
+        "cgo", pre=Eq(Var("cstatus"), NULL), post=Eq(Var("cstatus"), Const("x"))
+    )
+    child.opening(
+        pre=And(Eq(Var("status"), Const("a")), Eq(Var("status"), Const("b")))
+    )
+    child.closing(pre=TrueCond())
+    grandchild = builder.task("Below", parent="Dead")
+    grandchild.variable("gstatus")
+    grandchild.internal_service(
+        "ggo", pre=Eq(Var("gstatus"), NULL), post=Eq(Var("gstatus"), Const("x"))
+    )
+    grandchild.closing(pre=TrueCond())
+    return builder.build()
+
+
+class TestComputeStaticFacts:
+    def test_unsat_opening_closes_the_subtree(self):
+        facts = compute_static_facts(_system_with_dead_child())
+        assert facts.unsat_opening_tasks == ("Dead",)
+        # "Below" has a satisfiable guard but sits under a dead parent.
+        assert facts.reachable_tasks == ("Main",)
+        assert not facts.root_precondition_unsatisfiable
+
+    def test_trivially_true_formula_is_satisfied(self):
+        system = _system_with_dead_child()
+        trivial = LTLFOProperty("Main", parse_ltl("true"), {}, name="triv")
+        real = LTLFOProperty(
+            "Main",
+            parse_ltl("G p"),
+            {"p": Neq(Var("status"), Const("zzz"))},
+            name="real",
+        )
+        facts = compute_static_facts(system, (trivial, real))
+        assert facts.property_verdicts == {"triv": "satisfied"}
+
+    def test_constant_bindings_forced_by_global_precondition(self):
+        system = _system_with_dead_child()
+        facts = compute_static_facts(system)
+        # The builder's generated precondition nulls every root variable.
+        assert facts.constant_bindings["Main"]["status"] is None
+
+
+# ----------------------------------------------------------------- reporting
+
+
+def test_analyze_report_shape_and_summary():
+    system = _system_with_dead_child()
+    report = analyze(system, ())
+    data = report.as_dict()
+    assert set(data) == {"diagnostics", "facts", "summary"}
+    assert data["summary"]["errors"] == len(report.errors)
+    assert data["summary"]["warnings"] == len(report.warnings)
+    assert not report.has_errors
+    codes = [d["code"] for d in data["diagnostics"]]
+    assert codes == sorted(codes), "diagnostics must be severity/code ranked"
+
+
+def test_analyze_property_unknown_task_short_circuits():
+    system = _system_with_dead_child()
+    bad = LTLFOProperty("Nope", parse_ltl("G p"), {"p": TrueCond()}, name="bad")
+    diagnostics = analyze_property(system, bad)
+    assert [d.code for d in diagnostics] == ["VA102"]
+
+
+def test_spec_rejected_error_keeps_errors_only():
+    error_diag = Diagnostic("VA103", "error", "boom", where="here")
+    warning_diag = Diagnostic("VA501", "warning", "meh", where="there")
+    error = SpecRejectedError([warning_diag, error_diag])
+    assert error.diagnostics == [error_diag]
+    assert "VA103" in str(error)
+    assert isinstance(error, ValueError)
+
+
+def test_sort_diagnostics_ranks_errors_first():
+    diagnostics = [
+        Diagnostic("VA501", "warning", "w"),
+        Diagnostic("VA102", "error", "e"),
+        Diagnostic("VA203", "warning", "w2"),
+    ]
+    assert [d.code for d in sort_diagnostics(diagnostics)] == [
+        "VA102",
+        "VA203",
+        "VA501",
+    ]

@@ -1,0 +1,61 @@
+"""Golden-file suite for the static analyzer's diagnostics.
+
+One fixture per VA code: a minimal spec that triggers it, plus the exact
+JSON diagnostics it must produce.  The fixtures pin the public contract --
+codes, severities, messages and ``where`` paths are all load-bearing (the
+lint CLI, the 422 submit body and the per-code server metrics key on
+them), so any drift fails here first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import CODE_NAMES, ERROR, Diagnostic, analyze
+from repro.spec import SpecBundle
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+GOLDEN_FILES = sorted(f for f in os.listdir(GOLDEN_DIR) if f.endswith(".json"))
+
+
+def _load(filename):
+    with open(os.path.join(GOLDEN_DIR, filename), "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_every_code_has_a_golden_fixture():
+    covered = {_load(f)["code"] for f in GOLDEN_FILES}
+    assert covered == set(CODE_NAMES), (
+        "every registered VA code needs a golden fixture; missing: "
+        f"{sorted(set(CODE_NAMES) - covered)}, stray: {sorted(covered - set(CODE_NAMES))}"
+    )
+
+
+@pytest.mark.parametrize("filename", GOLDEN_FILES)
+def test_golden_diagnostics(filename):
+    golden = _load(filename)
+    code = golden["code"]
+    # validate=False: the error fixtures would be rejected at load otherwise.
+    bundle = SpecBundle.from_dict(golden["spec"], validate=False)
+    report = analyze(bundle.system, bundle.properties)
+    actual = [d.as_dict() for d in report.diagnostics if d.code == code]
+    assert actual == golden["expected"]
+
+
+@pytest.mark.parametrize("filename", GOLDEN_FILES)
+def test_golden_severity_matches_code_band(filename):
+    """VA1xx are errors (submit-rejecting); everything else warns."""
+    golden = _load(filename)
+    for entry in golden["expected"]:
+        expected_severity = ERROR if entry["code"].startswith("VA1") else "warning"
+        assert entry["severity"] == expected_severity
+        assert entry["name"] == CODE_NAMES[entry["code"]]
+
+
+@pytest.mark.parametrize("filename", GOLDEN_FILES)
+def test_golden_diagnostics_roundtrip(filename):
+    for entry in _load(filename)["expected"]:
+        assert Diagnostic.from_dict(entry).as_dict() == entry

@@ -1,0 +1,146 @@
+"""The pre-search pruning pass: verdict preservation, the kill-switch, and
+the options-schema compatibility rules.
+
+The fast tests prove parity on targeted systems (dead child subtrees,
+trivially-true properties); the slow differential sweep proves it across
+the whole benchmark corpus -- every verdict must be identical with
+``static_pruning`` on and off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import VerifierOptions
+from repro.core.verifier import Verifier
+from repro.has.builder import ArtifactSystemBuilder
+from repro.has.conditions import And, Const, Eq, NULL, Neq, TrueCond, Var
+from repro.has.schema import DatabaseSchema
+from repro.ltl import LTLFOProperty, parse_ltl
+
+
+def _system_with_dead_child():
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder("pruned", schema)
+    root = builder.task("Main")
+    root.id_variable("item", "ITEMS")
+    root.variable("status")
+    root.internal_service(
+        "pick", pre=Eq(Var("status"), NULL), post=Eq(Var("status"), Const("picked"))
+    )
+    root.internal_service(
+        "ship",
+        pre=Eq(Var("status"), Const("picked")),
+        post=Eq(Var("status"), Const("shipped")),
+    )
+    child = builder.task("Dead", parent="Main")
+    child.variable("cstatus")
+    child.internal_service(
+        "cgo", pre=Eq(Var("cstatus"), NULL), post=Eq(Var("cstatus"), Const("x"))
+    )
+    child.opening(
+        pre=And(Eq(Var("status"), Const("a")), Eq(Var("status"), Const("b")))
+    )
+    child.closing(pre=TrueCond())
+    return builder.build()
+
+
+def _verify_both_ways(system, ltl_property, **budget):
+    """(pruned result, unpruned result) for one property."""
+    pruned = Verifier(system, VerifierOptions(**budget)).verify(ltl_property)
+    unpruned = Verifier(
+        system, VerifierOptions(static_pruning=False, **budget)
+    ).verify(ltl_property)
+    return pruned, unpruned
+
+
+class TestVerdictPreservation:
+    def test_dead_child_subtree_pruning_preserves_verdicts(self):
+        system = _system_with_dead_child()
+        properties = [
+            LTLFOProperty(
+                "Main",
+                parse_ltl("G ns"),
+                {"ns": Neq(Var("status"), Const("shipped"))},
+                name="never-shipped",
+            ),
+            LTLFOProperty(
+                "Main",
+                parse_ltl("F p"),
+                {"p": Eq(Var("status"), Const("picked"))},
+                name="eventually-picked",
+            ),
+        ]
+        for ltl_property in properties:
+            pruned, unpruned = _verify_both_ways(system, ltl_property)
+            assert pruned.outcome == unpruned.outcome, ltl_property.name
+            # The dead subtree never contributed states, so the explored
+            # space is identical, not merely verdict-equivalent.
+            assert pruned.stats.states_explored == unpruned.stats.states_explored
+
+    def test_trivially_true_property_short_circuits_to_satisfied(self):
+        system = _system_with_dead_child()
+        trivial = LTLFOProperty("Main", parse_ltl("true"), {}, name="triv")
+        pruned, unpruned = _verify_both_ways(system, trivial)
+        assert pruned.satisfied and unpruned.satisfied
+        assert pruned.stats.states_explored == 0
+
+    def test_short_circuit_still_validates_the_property(self):
+        """Error behaviour is identical with pruning on or off."""
+        system = _system_with_dead_child()
+        bad = LTLFOProperty(
+            "Main", parse_ltl("true & zap"), {}, name="bad-service-ref"
+        )
+        for options in (VerifierOptions(), VerifierOptions(static_pruning=False)):
+            with pytest.raises(ValueError, match="zap"):
+                Verifier(system, options).verify(bad)
+
+
+class TestOptionsCompatibility:
+    def test_static_pruning_defaults_on_and_is_a_known_key(self):
+        options = VerifierOptions()
+        assert options.static_pruning is True
+        assert "static_pruning" in VerifierOptions.known_keys()
+
+    def test_default_omitted_from_canonical_dict(self):
+        """Fingerprint compatibility: the default must serialize exactly as
+        the pre-static-pruning schema did, or every persisted result of
+        every earlier store would be orphaned."""
+        data = VerifierOptions().as_dict()
+        assert "static_pruning" not in data
+        assert VerifierOptions.from_dict(data).static_pruning is True
+
+    def test_disabled_value_round_trips(self):
+        data = VerifierOptions(static_pruning=False).as_dict()
+        assert data["static_pruning"] is False
+        assert VerifierOptions.from_dict(data).static_pruning is False
+
+
+# ------------------------------------------------------------- differential
+
+
+@pytest.mark.slow
+def test_differential_pruning_over_benchmark_corpus():
+    """Every benchmark workflow x generated property: identical verdicts
+    (and search sizes) with the pruning pass on and off."""
+    from repro.benchmark.properties import LTL_TEMPLATES, generate_properties
+    from repro.benchmark.realworld import REAL_WORKFLOW_FACTORIES
+
+    # The same bounded budget on both sides keeps unknowns deterministic:
+    # the searches are identical modulo pruned-dead subtrees, so a budget
+    # exhaustion hits at the same state count with the pass on or off.
+    budget = dict(max_states=1500, max_repeated_states=1500, timeout_seconds=30)
+    compared = 0
+    for name, factory in sorted(REAL_WORKFLOW_FACTORIES.items()):
+        system = factory()
+        for ltl_property in generate_properties(system, templates=LTL_TEMPLATES):
+            pruned, unpruned = _verify_both_ways(system, ltl_property, **budget)
+            assert pruned.outcome == unpruned.outcome, (
+                f"{name}/{ltl_property.name}: pruned={pruned.outcome}"
+                f" unpruned={unpruned.outcome}"
+            )
+            assert (
+                pruned.stats.states_explored == unpruned.stats.states_explored
+            ), f"{name}/{ltl_property.name}"
+            compared += 1
+    assert compared >= 20, "corpus unexpectedly small -- differential audit is hollow"

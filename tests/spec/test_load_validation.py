@@ -1,0 +1,101 @@
+"""Load-time cross-validation of spec documents.
+
+Regression pin: a property referencing a task or relation the system does
+not define used to crash deep inside the search as a bare ``KeyError``.
+It must now be rejected when the document is loaded, with the offending
+VA code and name in the message -- and ``validate=False`` must bypass the
+check so the lint CLI can still load the broken document and report every
+diagnostic at once.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.has.builder import ArtifactSystemBuilder
+from repro.has.conditions import Const, Eq, NULL, Var
+from repro.has.schema import DatabaseSchema
+from repro.ltl import LTLFOProperty, parse_ltl
+from repro.spec import SpecBundle, SpecError, load_spec
+
+
+def _bundle_dict():
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder("xval", schema)
+    root = builder.task("Main")
+    root.id_variable("item", "ITEMS")
+    root.variable("status")
+    root.variable("other")
+    root.internal_service(
+        "go", pre=Eq(Var("status"), NULL), post=Eq(Var("status"), Var("other"))
+    )
+    system = builder.build()
+    ltl_property = LTLFOProperty(
+        "Main",
+        parse_ltl("G(phi)"),
+        {"phi": Eq(Var("status"), Const("done"))},
+        name="p",
+    )
+    return SpecBundle(system, [ltl_property]).to_dict()
+
+
+def test_clean_document_loads():
+    bundle = SpecBundle.from_dict(_bundle_dict())
+    assert [p.name for p in bundle.properties] == ["p"]
+
+
+def test_unknown_task_rejected_at_load():
+    data = _bundle_dict()
+    data["properties"][0]["task"] = "Nope"
+    with pytest.raises(SpecError) as excinfo:
+        SpecBundle.from_dict(data)
+    message = str(excinfo.value)
+    assert "VA102" in message
+    assert "Nope" in message
+
+
+def test_unknown_relation_rejected_at_load():
+    data = _bundle_dict()
+    data["properties"][0]["conditions"]["phi"] = {
+        "op": "atom",
+        "relation": "GHOSTS",
+        "args": [{"var": "item"}, {"var": "status"}],
+    }
+    with pytest.raises(SpecError) as excinfo:
+        SpecBundle.from_dict(data)
+    message = str(excinfo.value)
+    assert "VA103" in message
+    assert "GHOSTS" in message
+
+
+def test_relation_arity_mismatch_rejected_at_load():
+    data = _bundle_dict()
+    # ITEMS has arity 2 (id + price); one argument is a mismatch.
+    data["properties"][0]["conditions"]["phi"] = {
+        "op": "atom",
+        "relation": "ITEMS",
+        "args": [{"var": "item"}],
+    }
+    with pytest.raises(SpecError) as excinfo:
+        SpecBundle.from_dict(data)
+    assert "VA104" in str(excinfo.value)
+
+
+def test_validate_false_bypasses_cross_checks():
+    data = _bundle_dict()
+    data["properties"][0]["task"] = "Nope"
+    bundle = SpecBundle.from_dict(data, validate=False)
+    assert bundle.properties[0].task == "Nope"
+
+
+def test_load_spec_path_threads_validate(tmp_path):
+    data = _bundle_dict()
+    data["properties"][0]["task"] = "Nope"
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    with pytest.raises(SpecError, match="VA102"):
+        load_spec(path)
+    bundle = load_spec(path, validate=False)
+    assert bundle.properties[0].task == "Nope"

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""AST lint for the repo's two store-layer invariants (CI gate).
+
+Scanned trees: ``src/repro/server`` and ``src/repro/tenancy``.
+
+**RT001 -- no bare ``time.time()`` in lease/heartbeat/TTL code.**
+The job store runs on a monotonic-anchored clock (``JobStore._now``) so an
+NTP step can neither mass-expire TTL'd jobs nor immortalise stale leases.
+A bare ``time.time()`` in these trees reintroduces wall-clock arithmetic;
+new call sites must justify themselves (display-only stamps, the anchors
+themselves) by being added to the baseline file in a reviewed commit.
+
+**TX001 -- no store mutation outside a ``BEGIN IMMEDIATE`` helper.**
+Every INSERT/UPDATE/DELETE against the store must run inside
+``with self._write(...)`` / ``with store.write_transaction(...)`` (one
+atomic transaction per mutating method) or in a helper that receives the
+open transaction's connection as a ``conn``/``connection`` parameter.
+A naked ``cursor.execute("UPDATE ...")`` autocommits per-statement and
+silently breaks crash atomicity and the multi-process claim protocol.
+
+Violations are identified as ``<relpath>::<rule>::<enclosing function>``
+and checked against ``tools/lint_invariants_baseline.txt``: existing,
+reviewed call sites are grandfathered; anything new fails the build.
+Run with ``--update-baseline`` to regenerate the file after a reviewed
+change, and commit the diff.
+
+Exit codes: 0 clean (stale baseline entries are reported but pass),
+1 new violations, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Optional, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCANNED_TREES = (
+    os.path.join("src", "repro", "server"),
+    os.path.join("src", "repro", "tenancy"),
+)
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "lint_invariants_baseline.txt")
+
+MUTATING_PREFIXES = ("INSERT", "UPDATE", "DELETE", "REPLACE")
+WRITE_HELPER_NAMES = ("_write", "write_transaction")
+CONNECTION_PARAMS = ("conn", "connection")
+
+
+class Violation:
+    def __init__(self, path: str, rule: str, function: str, lineno: int, message: str):
+        self.path = path
+        self.rule = rule
+        self.function = function
+        self.lineno = lineno
+        self.message = message
+
+    @property
+    def key(self) -> str:
+        """Stable identity for the baseline: line numbers churn, the
+        (file, rule, enclosing function) triple survives refactors."""
+        return f"{self.path}::{self.rule}::{self.function}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.lineno}: {self.rule} [{self.function}] {self.message}"
+
+
+def _first_sql_literal(node: ast.AST) -> Optional[str]:
+    """The leading string content of an .execute() SQL argument, looking
+    through f-strings and implicit/explicit concatenation."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        return _first_sql_literal(node.values[0])
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _first_sql_literal(node.left)
+    return None
+
+
+def _is_write_helper_call(node: ast.AST) -> bool:
+    """``self._write(...)``, ``store.write_transaction(...)`` etc."""
+    if not isinstance(node, ast.Call):
+        return False
+    callee = node.func
+    name = callee.attr if isinstance(callee, ast.Attribute) else (
+        callee.id if isinstance(callee, ast.Name) else None
+    )
+    return name in WRITE_HELPER_NAMES
+
+
+class _InvariantVisitor(ast.NodeVisitor):
+    def __init__(self, relpath: str):
+        self.relpath = relpath
+        self.violations: List[Violation] = []
+        self._function_stack: List[str] = ["<module>"]
+        self._write_depth = 0
+        self._connection_params: List[Set[str]] = [set()]
+
+    # ------------------------------------------------------------- scoping
+
+    def _visit_function(self, node) -> None:
+        params = {
+            a.arg
+            for a in list(node.args.args)
+            + list(node.args.posonlyargs)
+            + list(node.args.kwonlyargs)
+        }
+        self._function_stack.append(node.name)
+        self._connection_params.append(
+            {p for p in params if p in CONNECTION_PARAMS}
+        )
+        self.generic_visit(node)
+        self._connection_params.pop()
+        self._function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        is_write = any(_is_write_helper_call(item.context_expr) for item in node.items)
+        if is_write:
+            self._write_depth += 1
+        self.generic_visit(node)
+        if is_write:
+            self._write_depth -= 1
+
+    # --------------------------------------------------------------- rules
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_time_time(node)
+        self._check_mutation(node)
+        self.generic_visit(node)
+
+    def _check_time_time(self, node: ast.Call) -> None:
+        callee = node.func
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == "time"
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id == "time"
+        ):
+            self._record(
+                "RT001",
+                node.lineno,
+                "bare time.time(): lease/heartbeat/TTL math must use the "
+                "monotonic-anchored store clock (JobStore._now/_shared_now)",
+            )
+
+    def _check_mutation(self, node: ast.Call) -> None:
+        callee = node.func
+        if not (isinstance(callee, ast.Attribute) and callee.attr in ("execute", "executemany")):
+            return
+        if not node.args:
+            return
+        sql = _first_sql_literal(node.args[0])
+        if sql is None or not sql.lstrip().upper().startswith(MUTATING_PREFIXES):
+            return
+        if self._write_depth > 0:
+            return
+        receiver = callee.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in self._connection_params[-1]
+        ):
+            return  # helper running on a caller-owned open transaction
+        self._record(
+            "TX001",
+            node.lineno,
+            f"store mutation ({sql.split(None, 1)[0].upper()}) outside a "
+            "BEGIN IMMEDIATE helper: wrap in `with ..._write()` / "
+            "`write_transaction()` or take the open `conn` as a parameter",
+        )
+
+    def _record(self, rule: str, lineno: int, message: str) -> None:
+        self.violations.append(
+            Violation(self.relpath, rule, self._function_stack[-1], lineno, message)
+        )
+
+
+# ------------------------------------------------------------------ driver
+
+
+def _python_files() -> Iterator[str]:
+    for tree in SCANNED_TREES:
+        root = os.path.join(REPO_ROOT, tree)
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def collect_violations() -> List[Violation]:
+    violations: List[Violation] = []
+    for path in _python_files():
+        relpath = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as error:
+            print(f"error: cannot parse {relpath}: {error}", file=sys.stderr)
+            raise SystemExit(2)
+        visitor = _InvariantVisitor(relpath)
+        visitor.visit(tree)
+        violations.extend(visitor.violations)
+    return violations
+
+
+def _load_baseline() -> List[str]:
+    if not os.path.exists(BASELINE_PATH):
+        return []
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.startswith("#")
+        ]
+
+
+def _write_baseline(violations: List[Violation]) -> None:
+    lines = [
+        "# Grandfathered invariant-lint call sites (tools/lint_invariants.py).",
+        "# Each line is <relpath>::<rule>::<enclosing function>.  Adding a line",
+        "# requires review: it asserts the call site is deliberately exempt",
+        "# (display-only wall stamps, the clock anchors themselves, ...).",
+    ]
+    lines.extend(sorted({v.key for v in violations}))
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current violations and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    violations = collect_violations()
+    if args.update_baseline:
+        _write_baseline(violations)
+        print(f"baseline updated: {len({v.key for v in violations})} entr(ies)")
+        return 0
+
+    baseline = set(_load_baseline())
+    found_keys = {v.key for v in violations}
+    fresh = [v for v in violations if v.key not in baseline]
+    stale = sorted(baseline - found_keys)
+
+    for entry in stale:
+        print(f"note: stale baseline entry (violation gone -- prune it): {entry}")
+    if fresh:
+        print(f"{len(fresh)} new invariant violation(s):", file=sys.stderr)
+        for violation in sorted(fresh, key=lambda v: (v.path, v.lineno)):
+            print(f"  {violation.render()}", file=sys.stderr)
+        print(
+            "\nEither fix the call site or -- with review -- run "
+            "`python tools/lint_invariants.py --update-baseline` and commit.",
+            file=sys.stderr,
+        )
+        return 1
+    grandfathered = len(found_keys & baseline)
+    print(
+        f"invariant lint clean: {grandfathered} grandfathered call site(s), "
+        f"0 new, {len(stale)} stale baseline entr(ies)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
