@@ -37,21 +37,35 @@ from repro.analysis.analyzer import (
     analyze_system,
     compute_static_facts,
 )
-from repro.analysis.satisfiability import statically_unsatisfiable
+from repro.analysis.dataflow import (
+    DataflowFacts,
+    ServiceFootprint,
+    TaskDataflow,
+    compute_dataflow_facts,
+)
+from repro.analysis.satisfiability import (
+    statically_unsatisfiable,
+    statically_unsatisfiable_under,
+)
 
 __all__ = [
     "AnalysisReport",
     "CODE_NAMES",
+    "DataflowFacts",
     "Diagnostic",
     "ERROR",
     "INFO",
+    "ServiceFootprint",
     "SpecRejectedError",
     "StaticFacts",
+    "TaskDataflow",
     "WARNING",
     "analyze",
     "analyze_property",
     "analyze_system",
+    "compute_dataflow_facts",
     "compute_static_facts",
     "sort_diagnostics",
     "statically_unsatisfiable",
+    "statically_unsatisfiable_under",
 ]

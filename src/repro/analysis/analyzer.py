@@ -35,6 +35,7 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     sort_diagnostics,
 )
+from repro.analysis.dataflow import compute_dataflow_facts
 from repro.analysis.satisfiability import statically_unsatisfiable
 from repro.has.artifact_system import ArtifactSystem
 from repro.has.conditions import Condition, Const, Eq, Neq, RelationAtom, TrueCond, Var
@@ -98,7 +99,11 @@ class AnalysisReport:
         return any(d.severity == ERROR for d in self.diagnostics)
 
     def as_dict(self) -> Dict[str, Any]:
+        # "version" is the envelope contract of ``python -m repro lint
+        # --json`` (and the 422 body): bumped only on breaking shape
+        # changes, so consumers can parse defensively.
         return {
+            "version": 1,
             "diagnostics": [d.as_dict() for d in self.diagnostics],
             "facts": self.facts.as_dict(),
             "summary": {
@@ -339,6 +344,60 @@ def analyze_system(system: ArtifactSystem) -> Tuple[List[Diagnostic], StaticFact
                     f"variable {unused!r} of task {task_name!r} is never read by any "
                     "condition, propagation, update or input/output mapping",
                     where=f"task {task_name!r} / variable {unused!r}",
+                )
+            )
+
+    # Dataflow-level facts: services dead only *under constant propagation*
+    # (their guard is satisfiable in isolation, so VA203 stays silent, but no
+    # reachable state of the task's search can ever enable them) and task
+    # variables that are written but never read.  Computed without the
+    # properties, like VA501: a property condition reading the variable does
+    # not silence the system-level fact.
+    dataflow = compute_dataflow_facts(system)
+    for task_name in system.task_names:
+        task_facts = dataflow.for_task(task_name)
+        if task_facts is None:
+            continue
+        plainly_dead = {
+            service.name
+            for service in system.internal_services(task_name)
+            if statically_unsatisfiable(service.pre)
+        }
+        for service_name in task_facts.dead_services:
+            if service_name in plainly_dead:
+                continue  # VA203 already reports it; don't double-fire
+            diagnostics.append(
+                Diagnostic(
+                    "VA302",
+                    WARNING,
+                    f"service {service_name!r} can never fire: constant propagation "
+                    f"over task {task_name!r} shows its pre- or post-condition is "
+                    "unsatisfiable in every reachable state",
+                    where=f"task {task_name!r} / service {service_name!r}",
+                )
+            )
+        for child in task_facts.dead_child_openings:
+            if child in unsat_openings:
+                continue  # VA203 already reports the plain-unsat guard
+            diagnostics.append(
+                Diagnostic(
+                    "VA302",
+                    WARNING,
+                    f"task {child!r} can never be opened: constant propagation over "
+                    f"task {task_name!r} shows its opening guard is unsatisfiable "
+                    "in every reachable state",
+                    where=f"task {child!r} / opening guard",
+                )
+            )
+        for variable in task_facts.written_never_read:
+            diagnostics.append(
+                Diagnostic(
+                    "VA504",
+                    WARNING,
+                    f"variable {variable!r} of task {task_name!r} is written by a "
+                    "post-condition, retrieval or child output mapping but never "
+                    "read by any condition or mapping (dead store)",
+                    where=f"task {task_name!r} / variable {variable!r}",
                 )
             )
 

@@ -37,12 +37,14 @@ CODE_NAMES: Dict[str, str] = {
     "VA105": "unknown-service",
     "VA203": "unsatisfiable-precondition",
     "VA301": "unreachable-task",
+    "VA302": "dead-service",
     "VA401": "unbound-property-variable",
     "VA402": "trivial-property",
     "VA403": "unused-condition",
     "VA501": "unused-variable",
     "VA502": "unused-relation",
     "VA503": "constant-only-service",
+    "VA504": "write-only-variable",
 }
 
 

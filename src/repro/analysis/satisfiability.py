@@ -24,7 +24,7 @@ them here could disagree with the symbolic evaluator.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.has.conditions import Condition, Const, Eq, Neq, Term, Var
 
@@ -51,8 +51,17 @@ class _UnionFind:
         self._parent[self.find(a)] = self.find(b)
 
 
-def _disjunct_contradictory(literals: Sequence) -> bool:
-    """Whether one DNF conjunct is contradictory under equality reasoning."""
+def analyse_disjunct(literals: Sequence[Condition]) -> Optional[Dict[str, Any]]:
+    """Congruence analysis of one DNF conjunct.
+
+    Returns ``None`` when the conjunct is contradictory under equality
+    reasoning (its ``=`` literals merge two distinct constants into one
+    equivalence class, or a ``!=`` literal relates two terms already in the
+    same class); otherwise the variable -> constant bindings *forced* by the
+    conjunct (every variable whose equivalence class contains a constant).
+    The forced bindings use the same union-find congruence the symbolic
+    evaluator implements, so ``x = y ∧ y = "a"`` forces ``x = "a"``.
+    """
     uf = _UnionFind()
     disequalities: List[Tuple[Hashable, Hashable]] = []
     for literal in literals:
@@ -70,13 +79,33 @@ def _disjunct_contradictory(literals: Sequence) -> bool:
                 root = uf.find(_term_key(term))
                 seen = constant_of.get(root)
                 if seen is not None and seen.value != term.value:
-                    return True
+                    return None
                 constant_of[root] = term
     # A disequality whose sides were merged by the equalities.
     for left, right in disequalities:
         if uf.find(left) == uf.find(right):
-            return True
-    return False
+            return None
+    bindings: Dict[str, Any] = {}
+    for literal in literals:
+        if not isinstance(literal, (Eq, Neq)):
+            continue
+        for term in (literal.left, literal.right):
+            if isinstance(term, Var):
+                constant = constant_of.get(uf.find(_term_key(term)))
+                if constant is not None:
+                    bindings[term.name] = constant.value
+    return bindings
+
+
+def _disjunct_contradictory(literals: Sequence[Condition]) -> bool:
+    """Whether one DNF conjunct is contradictory under equality reasoning."""
+    return analyse_disjunct(literals) is None
+
+
+def binding_literals(bindings: Mapping[str, Any]) -> List[Condition]:
+    """The ``var = const`` literals of an abstract constant environment, in
+    deterministic (name-sorted) order."""
+    return [Eq(Var(name), Const(bindings[name])) for name in sorted(bindings)]
 
 
 def statically_unsatisfiable(condition: Condition) -> bool:
@@ -85,3 +114,23 @@ def statically_unsatisfiable(condition: Condition) -> bool:
     if not disjuncts:
         return True
     return all(_disjunct_contradictory(d) for d in disjuncts)
+
+
+def statically_unsatisfiable_under(
+    condition: Condition, bindings: Mapping[str, Any]
+) -> bool:
+    """``True`` only if ``condition ∧ (var = const for every binding)`` has no
+    satisfying valuation.
+
+    This is the env-aware variant used by :mod:`repro.analysis.dataflow`: when
+    *bindings* are invariants of every reachable symbolic state (constraints
+    literally present in every reachable partial isomorphism type), a ``True``
+    here means the symbolic evaluator's ``extend`` fails on every reachable
+    state, so the condition can never fire -- the soundness argument of the
+    in-search dataflow pruning.
+    """
+    disjuncts = condition.dnf()
+    if not disjuncts:
+        return True
+    extra = binding_literals(bindings)
+    return all(analyse_disjunct(list(d) + extra) is None for d in disjuncts)

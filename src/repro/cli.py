@@ -66,6 +66,11 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
         help="disable the repro.analysis pre-search pruning pass (kill switch;"
              " equivalent to REPRO_STATIC_PRUNING=0 on the server)",
     )
+    parser.add_argument(
+        "--no-dataflow-pruning", action="store_true", dest="no_dataflow_pruning",
+        help="disable the in-search dataflow pruning pass (kill switch;"
+             " equivalent to REPRO_DATAFLOW_PRUNING=0 on the server)",
+    )
 
 
 def _options_from(args: argparse.Namespace) -> VerifierOptions:
@@ -78,6 +83,8 @@ def _options_from(args: argparse.Namespace) -> VerifierOptions:
         options = options.with_(check_repeated_reachability=False)
     if args.no_static_pruning:
         options = options.with_(static_pruning=False)
+    if args.no_dataflow_pruning:
+        options = options.with_(dataflow_pruning=False)
     return options
 
 

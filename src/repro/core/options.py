@@ -62,6 +62,17 @@ class VerifierOptions:
     #: differential test; the switch lets the audit (and the field, via
     #: ``REPRO_STATIC_PRUNING=0``) force the unpruned search.
     static_pruning: bool = True
+    #: The in-search dataflow pruning pass fed by
+    #: :mod:`repro.analysis.dataflow` facts: services dead under constant
+    #: propagation are skipped during successor generation, flattened
+    #: conjunctions contradicting the task's constant environment are dropped
+    #: before symbolic evaluation, and child openings whose guard is dead
+    #: under the environment are skipped.  Every consumed fact only removes
+    #: work that provably yields zero symbolic moves, so verdicts *and*
+    #: explored-state counts are identical with the pass on or off -- audited
+    #: by the 4-way differential sweep; kill-switches are
+    #: ``--no-dataflow-pruning`` and ``REPRO_DATAFLOW_PRUNING=0``.
+    dataflow_pruning: bool = True
 
     #: Hard limit on the number of product states the search may materialise.
     max_states: int = 200_000
@@ -93,6 +104,8 @@ class VerifierOptions:
             del data["repeated_violation_fast_path"]
         if data["static_pruning"] is True:
             del data["static_pruning"]
+        if data["dataflow_pruning"] is True:
+            del data["dataflow_pruning"]
         return data
 
     @classmethod

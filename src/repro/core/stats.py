@@ -43,6 +43,13 @@ class SearchStatistics:
     #: Whether the search was cooperatively cancelled (see
     #: :class:`repro.core.control.CancellationToken`).
     cancelled: bool = False
+    #: Internal-service successor evaluations skipped because the dataflow
+    #: pass proved the service dead (zero symbolic moves in every reachable
+    #: state); child-opening skips count here too.
+    dataflow_services_skipped: int = 0
+    #: Flattened conjunctions dropped before symbolic evaluation because they
+    #: contradict the task's constant environment.
+    dataflow_conjunctions_dropped: int = 0
     #: Per-phase wall-time attribution from the hot-loop ``phase(name)``
     #: hooks (see :class:`repro.core.control.PhaseTimer`): maps a phase name
     #: to ``{"seconds": float, "count": int}``.  Empty unless the run was
@@ -53,15 +60,19 @@ class SearchStatistics:
         """A plain-dict view (used by the benchmark harness and EXPERIMENTS.md).
 
         ``phase_seconds`` is included only when non-empty, so untraced runs
-        keep the historical shape byte-for-byte.
+        keep the historical shape byte-for-byte; the dataflow counters are
+        included only when non-zero for the same reason.
         """
+        base = self._base_dict()
+        if self.dataflow_services_skipped:
+            base["dataflow_services_skipped"] = self.dataflow_services_skipped
+        if self.dataflow_conjunctions_dropped:
+            base["dataflow_conjunctions_dropped"] = self.dataflow_conjunctions_dropped
         if self.phase_seconds:
-            base = self._base_dict()
             base["phase_seconds"] = {
                 name: dict(entry) for name, entry in self.phase_seconds.items()
             }
-            return base
-        return self._base_dict()
+        return base
 
     def _base_dict(self) -> Dict[str, float]:
         return {

@@ -29,7 +29,7 @@ from repro.core.flatten import flatten_condition
 from repro.core.isotypes import Constraint, PartialIsoType, empty_type
 from repro.core.options import VerifierOptions
 from repro.core.psi import PSI, counter_add
-from repro.core.static_analysis import ConstraintFilter
+from repro.core.static_analysis import ConstraintFilter, conjunction_contradicts_bindings
 from repro.has.artifact_system import ArtifactSystem
 from repro.has.conditions import Condition, TrueCond
 from repro.has.services import Insert, InternalService, Retrieve
@@ -39,6 +39,7 @@ from repro.vass.vass import OMEGA
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis is a sibling layer)
     from repro.analysis.analyzer import StaticFacts
+    from repro.analysis.dataflow import DataflowFacts
 
 #: Pseudo-child key marking that the verified task has executed its closing service.
 CLOSED_MARKER = "__closed__"
@@ -62,6 +63,7 @@ class SymbolicTransitionSystem:
         ltl_property: Optional[LTLFOProperty] = None,
         options: Optional[VerifierOptions] = None,
         static_facts: Optional["StaticFacts"] = None,
+        dataflow_facts: Optional["DataflowFacts"] = None,
     ):
         self.system = system
         self.task_name = task_name
@@ -89,6 +91,37 @@ class SymbolicTransitionSystem:
             self._statically_closed_children = frozenset(
                 child for child in system.children_of(task_name) if child in unsat
             )
+
+        # In-search dataflow pruning (repro.analysis.dataflow): the task's
+        # constant environment holds in every reachable iso-type of this
+        # search, so (a) services whose guard or effect is unsatisfiable
+        # under it produce zero symbolic moves and are skipped outright, and
+        # (b) flattened conjunctions contradicting it fail every ``extend``
+        # and are dropped at flatten time.  Post-conditions are exempt from
+        # (b): they are evaluated mid-transition on *projected* types, where
+        # only the propagated subset of the environment survives.
+        self._dataflow_env: Optional[Dict[str, object]] = None
+        self._dataflow_dead_services: FrozenSet[str] = frozenset()
+        self._dataflow_closed_children: FrozenSet[str] = frozenset()
+        self._dataflow_post_ids: FrozenSet[int] = frozenset()
+        self.dataflow_services_skipped = 0
+        self.dataflow_conjunctions_dropped = 0
+        if self.options.dataflow_pruning:
+            if dataflow_facts is None:
+                from repro.analysis.dataflow import compute_dataflow_facts
+
+                dataflow_facts = compute_dataflow_facts(system)
+            task_facts = dataflow_facts.for_task(task_name)
+            if task_facts is not None:
+                self._dataflow_env = dict(task_facts.constant_env) or None
+                self._dataflow_dead_services = frozenset(task_facts.dead_services)
+                self._dataflow_closed_children = frozenset(
+                    task_facts.dead_child_openings
+                )
+                self._dataflow_post_ids = frozenset(
+                    id(service.post)
+                    for service in system.internal_services(task_name)
+                )
 
         # The expression universe of the task: its variables plus the global
         # variables of the property (rigid, propagated by every transition).
@@ -151,10 +184,29 @@ class SymbolicTransitionSystem:
         return conditions
 
     def flatten(self, condition: Condition) -> List[List[Constraint]]:
-        """Cached ``conj(φ)`` of a condition over the task universe."""
+        """Cached ``conj(φ)`` of a condition over the task universe.
+
+        With dataflow pruning on, conjunctions contradicting the task's
+        constant environment are dropped (order of the survivors is
+        preserved): the environment holds in every reachable iso-type, so
+        such a conjunction fails every ``extend`` anyway.  Post-conditions
+        are exempt -- they are evaluated on projected types where only the
+        propagated bindings survive.
+        """
         key = id(condition)
         if key not in self._flattened:
-            self._flattened[key] = flatten_condition(condition, self.universe, self.system.schema)
+            conjunctions = flatten_condition(condition, self.universe, self.system.schema)
+            if self._dataflow_env is not None and key not in self._dataflow_post_ids:
+                kept = [
+                    conjunction
+                    for conjunction in conjunctions
+                    if not conjunction_contradicts_bindings(
+                        conjunction, self._dataflow_env, self.universe
+                    )
+                ]
+                self.dataflow_conjunctions_dropped += len(conjunctions) - len(kept)
+                conjunctions = kept
+            self._flattened[key] = conjunctions
         return self._flattened[key]
 
     def extend(self, tau: PartialIsoType, constraints: Sequence[Constraint]) -> Optional[PartialIsoType]:
@@ -254,6 +306,12 @@ class SymbolicTransitionSystem:
             return []
         moves: List[SymbolicMove] = []
         for service in self.system.internal_services(self.task_name):
+            if service.name in self._dataflow_dead_services:
+                # Dead under constant propagation: the pre (or, after
+                # projection, the post) fails on every reachable iso-type,
+                # so the evaluation below would produce zero moves.
+                self.dataflow_services_skipped += 1
+                continue
             moves.extend(self._apply_internal(psi, service))
         return moves
 
@@ -334,6 +392,11 @@ class SymbolicTransitionSystem:
         moves: List[SymbolicMove] = []
         for child in self.system.children_of(self.task_name):
             if child in self._statically_closed_children:
+                continue
+            if child in self._dataflow_closed_children:
+                # The opening guard is unsatisfiable under the constant
+                # environment: zero symbolic moves on every reachable type.
+                self.dataflow_services_skipped += 1
                 continue
             if psi.child_active(child):
                 continue

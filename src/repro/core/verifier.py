@@ -141,10 +141,17 @@ class Verifier:
 
             static_facts = compute_static_facts(self.system, (ltl_property,))
 
+        dataflow_facts = None
+        if self.options.dataflow_pruning:
+            from repro.analysis import compute_dataflow_facts
+
+            with control.span("verify.dataflow", property=ltl_property.name, task=task_name):
+                dataflow_facts = compute_dataflow_facts(self.system)
+
         with control.span("verify.setup", property=ltl_property.name, task=task_name):
             transition_system = SymbolicTransitionSystem(
                 self.system, task_name, ltl_property, self.options,
-                static_facts=static_facts,
+                static_facts=static_facts, dataflow_facts=dataflow_facts,
             )
             ltl_property.validate_against(
                 self.system.task(task_name).variable_names,
@@ -180,6 +187,10 @@ class Verifier:
 
         with control.span("verify.verdict"):
             outcome, counterexample = self._verdict(product, result, stats, control)
+        # After the verdict: the repeated-reachability phase also drives the
+        # transition system, so the dataflow counters are only final here.
+        stats.dataflow_services_skipped = transition_system.dataflow_services_skipped
+        stats.dataflow_conjunctions_dropped = transition_system.dataflow_conjunctions_dropped
         stats.total_seconds = time.monotonic() - started
         if control.phase_timer.enabled:
             stats.phase_seconds = control.phase_timer.snapshot()

@@ -335,6 +335,13 @@ class VerificationServer:
             default_options = (default_options or VerifierOptions()).with_(
                 static_pruning=static_env not in ("0", "false", "no")
             )
+        dataflow_env = os.environ.get("REPRO_DATAFLOW_PRUNING", "").strip().lower()
+        if dataflow_env:
+            # Same kill-switch contract for the in-search dataflow pruning
+            # pass: REPRO_DATAFLOW_PRUNING=0 forces it off, =1 forces it on.
+            default_options = (default_options or VerifierOptions()).with_(
+                dataflow_pruning=dataflow_env not in ("0", "false", "no")
+            )
         self.service = VerificationService(
             cache=self.cache, default_options=default_options
         )

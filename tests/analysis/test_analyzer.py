@@ -138,7 +138,8 @@ def test_analyze_report_shape_and_summary():
     system = _system_with_dead_child()
     report = analyze(system, ())
     data = report.as_dict()
-    assert set(data) == {"diagnostics", "facts", "summary"}
+    assert set(data) == {"version", "diagnostics", "facts", "summary"}
+    assert data["version"] == 1
     assert data["summary"]["errors"] == len(report.errors)
     assert data["summary"]["warnings"] == len(report.warnings)
     assert not report.has_errors

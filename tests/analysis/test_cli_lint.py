@@ -79,7 +79,8 @@ def test_lint_json_output_is_machine_readable(tmp_path, capsys):
     path = _write_spec(tmp_path, mutate=break_task_reference)
     assert cli.main(["lint", path, "--json"]) == 1
     data = json.loads(capsys.readouterr().out)
-    assert set(data) == {"diagnostics", "facts", "summary"}
+    assert set(data) == {"version", "diagnostics", "facts", "summary"}
+    assert data["version"] == 1
     assert data["summary"]["errors"] == 1
     [diagnostic] = data["diagnostics"]
     assert diagnostic["code"] == "VA102"

@@ -9,6 +9,8 @@ the whole benchmark corpus -- every verdict must be identical with
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 
 from repro.core.options import VerifierOptions
@@ -54,6 +56,56 @@ def _verify_both_ways(system, ltl_property, **budget):
     return pruned, unpruned
 
 
+def _verify_four_ways(system, ltl_property, **budget):
+    """One result per (static_pruning, dataflow_pruning) combination."""
+    results = {}
+    for static, dataflow in itertools.product((True, False), repeat=2):
+        options = VerifierOptions(
+            static_pruning=static, dataflow_pruning=dataflow, **budget
+        )
+        results[(static, dataflow)] = Verifier(system, options).verify(ltl_property)
+    return results
+
+
+def _pinned_mode_system():
+    """A system whose global precondition pins ``mode`` to a value that
+    disables one service and one child: satisfiable in isolation (so the
+    static pass keeps them) but dead under the propagated constant."""
+    schema = DatabaseSchema.from_dict({"ITEMS": {"price": None}})
+    builder = ArtifactSystemBuilder(
+        "pinned",
+        schema,
+        global_precondition=And(
+            And(Eq(Var("mode"), Const("basic")), Eq(Var("status"), NULL)),
+            Eq(Var("item"), NULL),
+        ),
+    )
+    root = builder.task("Main")
+    root.id_variable("item", "ITEMS")
+    root.variable("status")
+    root.variable("mode")
+    root.internal_service(
+        "go",
+        pre=Eq(Var("status"), NULL),
+        post=Eq(Var("status"), Const("done")),
+        propagated=["mode"],
+    )
+    root.internal_service(
+        "premium_only",
+        pre=Eq(Var("mode"), Const("premium")),
+        post=Eq(Var("status"), Const("upgraded")),
+        propagated=["mode"],
+    )
+    child = builder.task("Premium", parent="Main")
+    child.variable("cstatus")
+    child.internal_service(
+        "cgo", pre=Eq(Var("cstatus"), NULL), post=Eq(Var("cstatus"), Const("x"))
+    )
+    child.opening(pre=Eq(Var("mode"), Const("premium")))
+    child.closing(pre=TrueCond())
+    return builder.build()
+
+
 class TestVerdictPreservation:
     def test_dead_child_subtree_pruning_preserves_verdicts(self):
         system = _system_with_dead_child()
@@ -96,6 +148,88 @@ class TestVerdictPreservation:
                 Verifier(system, options).verify(bad)
 
 
+class TestFourWayParity:
+    """static_pruning x dataflow_pruning: all four configurations must agree
+    on the verdict AND the explored-state count -- both passes only remove
+    work that provably yields zero symbolic moves."""
+
+    def _assert_parity(self, system, properties):
+        for ltl_property in properties:
+            results = _verify_four_ways(system, ltl_property)
+            baseline = results[(False, False)]
+            for combo, result in sorted(results.items()):
+                assert result.outcome == baseline.outcome, (
+                    f"{ltl_property.name} {combo}: {result.outcome}"
+                    f" != {baseline.outcome}"
+                )
+                assert (
+                    result.stats.states_explored == baseline.stats.states_explored
+                ), f"{ltl_property.name} {combo}"
+
+    def test_dead_child_system(self):
+        system = _system_with_dead_child()
+        self._assert_parity(
+            system,
+            [
+                LTLFOProperty(
+                    "Main",
+                    parse_ltl("G ns"),
+                    {"ns": Neq(Var("status"), Const("shipped"))},
+                    name="never-shipped",
+                ),
+                LTLFOProperty(
+                    "Main",
+                    parse_ltl("F p"),
+                    {"p": Eq(Var("status"), Const("picked"))},
+                    name="eventually-picked",
+                ),
+            ],
+        )
+
+    def test_pinned_mode_system(self):
+        """The dataflow-only kills: 'premium_only' and the 'Premium' child are
+        statically satisfiable, so only constant propagation can prune them."""
+        system = _pinned_mode_system()
+        from repro.analysis import compute_dataflow_facts
+
+        facts = compute_dataflow_facts(system).for_task("Main")
+        assert "premium_only" in facts.dead_services
+        assert "Premium" in facts.dead_child_openings
+        self._assert_parity(
+            system,
+            [
+                LTLFOProperty(
+                    "Main",
+                    parse_ltl("F d"),
+                    {"d": Eq(Var("status"), Const("done"))},
+                    name="eventually-done",
+                ),
+                LTLFOProperty(
+                    "Main",
+                    parse_ltl("G nu"),
+                    {"nu": Neq(Var("status"), Const("upgraded"))},
+                    name="never-upgraded",
+                ),
+            ],
+        )
+
+    def test_dataflow_pruning_actually_skips_work(self):
+        system = _pinned_mode_system()
+        ltl_property = LTLFOProperty(
+            "Main",
+            parse_ltl("G nu"),
+            {"nu": Neq(Var("status"), Const("upgraded"))},
+            name="never-upgraded",
+        )
+        result = Verifier(system, VerifierOptions()).verify(ltl_property)
+        stats = result.stats.as_dict()
+        assert stats.get("dataflow_services_skipped", 0) > 0
+        off = Verifier(
+            system, VerifierOptions(dataflow_pruning=False)
+        ).verify(ltl_property)
+        assert "dataflow_services_skipped" not in off.stats.as_dict()
+
+
 class TestOptionsCompatibility:
     def test_static_pruning_defaults_on_and_is_a_known_key(self):
         options = VerifierOptions()
@@ -114,6 +248,23 @@ class TestOptionsCompatibility:
         data = VerifierOptions(static_pruning=False).as_dict()
         assert data["static_pruning"] is False
         assert VerifierOptions.from_dict(data).static_pruning is False
+
+    def test_dataflow_pruning_defaults_on_and_is_a_known_key(self):
+        options = VerifierOptions()
+        assert options.dataflow_pruning is True
+        assert "dataflow_pruning" in VerifierOptions.known_keys()
+
+    def test_dataflow_default_omitted_from_canonical_dict(self):
+        """Same fingerprint rule as static_pruning: the default serializes
+        exactly as the older schemas did."""
+        data = VerifierOptions().as_dict()
+        assert "dataflow_pruning" not in data
+        assert VerifierOptions.from_dict(data).dataflow_pruning is True
+
+    def test_dataflow_disabled_value_round_trips(self):
+        data = VerifierOptions(dataflow_pruning=False).as_dict()
+        assert data["dataflow_pruning"] is False
+        assert VerifierOptions.from_dict(data).dataflow_pruning is False
 
 
 # ------------------------------------------------------------- differential
@@ -142,5 +293,32 @@ def test_differential_pruning_over_benchmark_corpus():
             assert (
                 pruned.stats.states_explored == unpruned.stats.states_explored
             ), f"{name}/{ltl_property.name}"
+            compared += 1
+    assert compared >= 20, "corpus unexpectedly small -- differential audit is hollow"
+
+
+@pytest.mark.slow
+def test_four_way_differential_over_benchmark_corpus():
+    """The full 2x2 grid (static_pruning x dataflow_pruning) over every
+    benchmark workflow x generated property: identical verdicts and
+    explored-state counts in all four configurations."""
+    from repro.benchmark.properties import LTL_TEMPLATES, generate_properties
+    from repro.benchmark.realworld import REAL_WORKFLOW_FACTORIES
+
+    budget = dict(max_states=1500, max_repeated_states=1500, timeout_seconds=30)
+    compared = 0
+    for name, factory in sorted(REAL_WORKFLOW_FACTORIES.items()):
+        system = factory()
+        for ltl_property in generate_properties(system, templates=LTL_TEMPLATES):
+            results = _verify_four_ways(system, ltl_property, **budget)
+            baseline = results[(False, False)]
+            for combo, result in sorted(results.items()):
+                assert result.outcome == baseline.outcome, (
+                    f"{name}/{ltl_property.name} {combo}:"
+                    f" {result.outcome} != {baseline.outcome}"
+                )
+                assert (
+                    result.stats.states_explored == baseline.stats.states_explored
+                ), f"{name}/{ltl_property.name} {combo}"
             compared += 1
     assert compared >= 20, "corpus unexpectedly small -- differential audit is hollow"

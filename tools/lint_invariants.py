@@ -1,22 +1,37 @@
 #!/usr/bin/env python3
-"""AST lint for the repo's two store-layer invariants (CI gate).
+"""AST lint for the repo's cross-cutting code invariants (CI gate).
 
-Scanned trees: ``src/repro/server`` and ``src/repro/tenancy``.
+Each scanned tree declares which rules apply to it (``SCANNED_TREES``).
 
-**RT001 -- no bare ``time.time()`` in lease/heartbeat/TTL code.**
-The job store runs on a monotonic-anchored clock (``JobStore._now``) so an
-NTP step can neither mass-expire TTL'd jobs nor immortalise stale leases.
-A bare ``time.time()`` in these trees reintroduces wall-clock arithmetic;
-new call sites must justify themselves (display-only stamps, the anchors
+**RT001 -- no bare ``time.time()`` in lease/heartbeat/TTL code**
+(``src/repro/server``, ``src/repro/tenancy``).  The job store runs on a
+monotonic-anchored clock (``JobStore._now``) so an NTP step can neither
+mass-expire TTL'd jobs nor immortalise stale leases.  A bare
+``time.time()`` in these trees reintroduces wall-clock arithmetic; new
+call sites must justify themselves (display-only stamps, the anchors
 themselves) by being added to the baseline file in a reviewed commit.
 
-**TX001 -- no store mutation outside a ``BEGIN IMMEDIATE`` helper.**
-Every INSERT/UPDATE/DELETE against the store must run inside
+**TX001 -- no store mutation outside a ``BEGIN IMMEDIATE`` helper**
+(``src/repro/server``, ``src/repro/tenancy``).  Every
+INSERT/UPDATE/DELETE against the store must run inside
 ``with self._write(...)`` / ``with store.write_transaction(...)`` (one
 atomic transaction per mutating method) or in a helper that receives the
 open transaction's connection as a ``conn``/``connection`` parameter.
 A naked ``cursor.execute("UPDATE ...")`` autocommits per-statement and
 silently breaks crash atomicity and the multi-process claim protocol.
+
+**RT002 -- no bare ``time.time()`` in the core search**
+(``src/repro/core``).  Search budgets run on ``time.monotonic`` deadlines
+and verification results are content-addressed: wall-clock reads in the
+hot path make runs irreproducible and deadline math NTP-sensitive.
+Display-only stamps (the progress-event ``emit`` hook) are grandfathered.
+
+**DF001 -- no iteration-order-dependent loops in the dataflow pass**
+(``src/repro/analysis/dataflow.py``).  The dataflow facts feed pruning
+decisions whose determinism is asserted by tests and relied on by the
+result cache; iterating a dict/set (``for x in {...}``, ``.items()``,
+``set(...)``) without ``sorted(...)`` makes the emitted tuples depend on
+hash order.  Wrap the iterable in ``sorted(...)`` instead.
 
 Violations are identified as ``<relpath>::<rule>::<enclosing function>``
 and checked against ``tools/lint_invariants_baseline.txt``: existing,
@@ -34,12 +49,15 @@ import argparse
 import ast
 import os
 import sys
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SCANNED_TREES = (
-    os.path.join("src", "repro", "server"),
-    os.path.join("src", "repro", "tenancy"),
+#: (tree or single file, rules enforced there)
+SCANNED_TREES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    (os.path.join("src", "repro", "server"), ("RT001", "TX001")),
+    (os.path.join("src", "repro", "tenancy"), ("RT001", "TX001")),
+    (os.path.join("src", "repro", "core"), ("RT002",)),
+    (os.path.join("src", "repro", "analysis", "dataflow.py"), ("DF001",)),
 )
 BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "lint_invariants_baseline.txt")
 
@@ -89,9 +107,31 @@ def _is_write_helper_call(node: ast.AST) -> bool:
     return name in WRITE_HELPER_NAMES
 
 
+_UNORDERED_BUILTINS = ("set", "dict", "frozenset")
+_UNORDERED_METHODS = ("keys", "values", "items")
+
+
+def _is_unordered_iterable(node: ast.AST) -> Optional[str]:
+    """A human-readable label when *node* is a syntactically-unordered
+    iterable (dict/set display or comprehension, ``set(...)``-style call,
+    ``.keys()/.values()/.items()``); ``None`` otherwise."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, ast.Call):
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id in _UNORDERED_BUILTINS:
+            return f"{callee.id}(...)"
+        if isinstance(callee, ast.Attribute) and callee.attr in _UNORDERED_METHODS:
+            return f".{callee.attr}()"
+    return None
+
+
 class _InvariantVisitor(ast.NodeVisitor):
-    def __init__(self, relpath: str):
+    def __init__(self, relpath: str, rules: FrozenSet[str]):
         self.relpath = relpath
+        self.rules = rules
         self.violations: List[Violation] = []
         self._function_stack: List[str] = ["<module>"]
         self._write_depth = 0
@@ -129,22 +169,59 @@ class _InvariantVisitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_time_time(node)
-        self._check_mutation(node)
+        if "TX001" in self.rules:
+            self._check_mutation(node)
         self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_node(self, node) -> None:
+        if "DF001" in self.rules:
+            for generator in node.generators:
+                self._check_unordered_iteration(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension_node
+    visit_SetComp = _visit_comprehension_node
+    visit_DictComp = _visit_comprehension_node
+    visit_GeneratorExp = _visit_comprehension_node
 
     def _check_time_time(self, node: ast.Call) -> None:
         callee = node.func
-        if (
+        if not (
             isinstance(callee, ast.Attribute)
             and callee.attr == "time"
             and isinstance(callee.value, ast.Name)
             and callee.value.id == "time"
         ):
+            return
+        if "RT001" in self.rules:
             self._record(
                 "RT001",
                 node.lineno,
                 "bare time.time(): lease/heartbeat/TTL math must use the "
                 "monotonic-anchored store clock (JobStore._now/_shared_now)",
+            )
+        elif "RT002" in self.rules:
+            self._record(
+                "RT002",
+                node.lineno,
+                "bare time.time() in the core search: budgets/deadlines must "
+                "use time.monotonic and results must not embed wall time",
+            )
+
+    def _check_unordered_iteration(self, iterable: ast.AST) -> None:
+        if "DF001" not in self.rules:
+            return
+        label = _is_unordered_iterable(iterable)
+        if label is not None:
+            self._record(
+                "DF001",
+                iterable.lineno,
+                f"iteration over unordered {label}: dataflow facts must be "
+                "hash-order independent -- wrap the iterable in sorted(...)",
             )
 
     def _check_mutation(self, node: ast.Call) -> None:
@@ -181,18 +258,21 @@ class _InvariantVisitor(ast.NodeVisitor):
 # ------------------------------------------------------------------ driver
 
 
-def _python_files() -> Iterator[str]:
-    for tree in SCANNED_TREES:
+def _python_files() -> Iterator[Tuple[str, FrozenSet[str]]]:
+    for tree, rules in SCANNED_TREES:
         root = os.path.join(REPO_ROOT, tree)
+        if os.path.isfile(root):
+            yield root, frozenset(rules)
+            continue
         for dirpath, _dirnames, filenames in os.walk(root):
             for filename in sorted(filenames):
                 if filename.endswith(".py"):
-                    yield os.path.join(dirpath, filename)
+                    yield os.path.join(dirpath, filename), frozenset(rules)
 
 
 def collect_violations() -> List[Violation]:
     violations: List[Violation] = []
-    for path in _python_files():
+    for path, rules in _python_files():
         relpath = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
@@ -201,7 +281,7 @@ def collect_violations() -> List[Violation]:
         except SyntaxError as error:
             print(f"error: cannot parse {relpath}: {error}", file=sys.stderr)
             raise SystemExit(2)
-        visitor = _InvariantVisitor(relpath)
+        visitor = _InvariantVisitor(relpath, rules)
         visitor.visit(tree)
         violations.extend(visitor.violations)
     return violations
